@@ -1,0 +1,10 @@
+"""Benchmark-suite configuration.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each benchmark regenerates one table/figure of the paper (or times a core
+kernel) and asserts the headline shape, so the suite doubles as an
+integration check of the full reproduction pipeline.
+"""

@@ -1,0 +1,42 @@
+"""Benchmark: functional collective kernels on the virtual mesh."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.collectives import ring_all_reduce, two_phase_all_reduce
+
+SIZE = 1 << 16
+
+
+@pytest.fixture(scope="module")
+def ring_inputs():
+    rng = np.random.default_rng(0)
+    return [rng.standard_normal(SIZE).astype(np.float32) for _ in range(16)]
+
+
+@pytest.fixture(scope="module")
+def grid_inputs():
+    rng = np.random.default_rng(0)
+    return [
+        [rng.standard_normal(SIZE).astype(np.float32) for _ in range(4)]
+        for _ in range(4)
+    ]
+
+
+def test_ring_all_reduce_f32(benchmark, ring_inputs):
+    out = benchmark(ring_all_reduce, ring_inputs, "f32")
+    truth = np.sum(ring_inputs, axis=0, dtype=np.float64)
+    assert np.allclose(out[0], truth, rtol=1e-4, atol=1e-3)
+
+
+def test_ring_all_reduce_bf16(benchmark, ring_inputs):
+    out = benchmark(ring_all_reduce, ring_inputs, "bf16")
+    truth = np.sum(ring_inputs, axis=0, dtype=np.float64)
+    assert np.allclose(out[0], truth, rtol=0.2, atol=0.5)
+
+
+def test_two_phase_all_reduce(benchmark, grid_inputs):
+    out = benchmark(two_phase_all_reduce, grid_inputs, "f32")
+    truth = np.sum([g for col in grid_inputs for g in col], axis=0,
+                   dtype=np.float64)
+    assert np.allclose(out[0][0], truth, rtol=1e-4, atol=1e-3)

@@ -1,0 +1,32 @@
+"""Benchmark: the discrete-event simulator on collective schedules."""
+
+import pytest
+
+from repro.comm.schedule import simulate_ring_reduce_scatter
+from repro.hardware.rings import all_y_rings, model_peer_ring
+from repro.hardware.topology import single_pod, slice_for_chips
+
+
+@pytest.fixture(scope="module")
+def pod():
+    return single_pod()
+
+
+def test_des_all_column_rings(benchmark, pod):
+    rings = all_y_rings(pod)
+    t = benchmark(simulate_ring_reduce_scatter, pod, rings, 1e6)
+    assert t > 0
+
+
+def test_des_peer_rings_contention(benchmark, pod):
+    rings = [model_peer_ring(pod, 0, 4, p) for p in range(4)]
+    t = benchmark(simulate_ring_reduce_scatter, pod, rings, 1e6)
+    assert t > 0
+
+
+def test_des_small_slice(benchmark):
+    mesh = slice_for_chips(64)
+    from repro.hardware.rings import y_ring
+
+    t = benchmark(simulate_ring_reduce_scatter, mesh, y_ring(mesh, 0), 1e6)
+    assert t > 0

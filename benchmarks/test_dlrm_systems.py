@@ -1,0 +1,48 @@
+"""Benchmark: DLRM systems kernels — sharded lookups, masking, eval loop."""
+
+import numpy as np
+import pytest
+
+from repro.core.loop import dlrm_eval_accumulation_ablation
+from repro.models.embedding import (
+    ShardedEmbedding,
+    expand_weights_for_mask,
+    interaction_gather,
+    interaction_masked,
+)
+
+
+@pytest.fixture(scope="module")
+def table():
+    rng = np.random.default_rng(0)
+    return rng.standard_normal((200_000, 64)).astype(np.float32)
+
+
+@pytest.fixture(scope="module")
+def ids():
+    return np.random.default_rng(1).integers(0, 200_000, 8192)
+
+
+def test_sharded_embedding_lookup(benchmark, table, ids):
+    sharded = ShardedEmbedding(table, 8)
+    out = benchmark(sharded.lookup, ids)
+    assert np.allclose(out, table[ids])
+
+
+def test_interaction_masked(benchmark):
+    rng = np.random.default_rng(2)
+    features = rng.standard_normal((512, 27, 16)).astype(np.float32)
+    out = benchmark(interaction_masked, features)
+    assert out.shape == (512, 27 * 27)
+
+
+def test_interaction_gather(benchmark):
+    rng = np.random.default_rng(2)
+    features = rng.standard_normal((512, 27, 16)).astype(np.float32)
+    out = benchmark(interaction_gather, features)
+    assert out.shape == (512, 27 * 26 // 2)
+
+
+def test_eval_accumulation_loop(benchmark):
+    naive, optimized = benchmark(dlrm_eval_accumulation_ablation)
+    assert optimized.total_seconds < naive.total_seconds

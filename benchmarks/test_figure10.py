@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Figure 10 (TPU vs V100/A100 end-to-end minutes)."""
+
+from repro.experiments import figure10
+
+
+def test_figure10(benchmark):
+    table = benchmark(figure10.run)
+    for row in table.rows:
+        assert row[2] < row[6], f"TPU should beat V100 on {row[0]}"

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 11 (speedup over 16 chips of own type)."""
+
+from repro.experiments import figure11
+
+
+def test_figure11(benchmark):
+    fig = benchmark(figure11.run)
+    tpu = dict(zip(*fig.series["tpu_bert"]))
+    gpu = dict(zip(*fig.series["gpu_a100_bert"]))
+    assert max(tpu.values()) > max(gpu.values())

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 5 (ResNet-50 speedup vs chips)."""
+
+from repro.experiments import figure5
+
+
+def test_figure5(benchmark):
+    fig = benchmark(figure5.run)
+    e2e = dict(zip(*fig.series["end_to_end"]))
+    thr = dict(zip(*fig.series["throughput"]))
+    assert thr[4096] > e2e[4096] > 30

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Figure 6 (ResNet-50 step breakdown)."""
+
+from repro.experiments import figure6
+
+
+def test_figure6(benchmark):
+    fig = benchmark(figure6.run)
+    frac = fig.series["allreduce_fraction_at_4096"][1][0]
+    assert abs(frac - 0.22) < 0.05

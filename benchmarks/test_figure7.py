@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Figure 7 (BERT speedup vs chips)."""
+
+from repro.experiments import figure7
+
+
+def test_figure7(benchmark):
+    fig = benchmark(figure7.run)
+    e2e = dict(zip(*fig.series["end_to_end"]))
+    assert e2e[4096] > 80

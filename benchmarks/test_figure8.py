@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Figure 8 (BERT step breakdown)."""
+
+from repro.experiments import figure8
+
+
+def test_figure8(benchmark):
+    fig = benchmark(figure8.run)
+    frac = fig.series["allreduce_fraction_at_4096"][1][0]
+    assert abs(frac - 0.273) < 0.06

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 9 (model-parallel speedups via SPMD)."""
+
+from repro.experiments import figure9
+
+
+def test_figure9(benchmark):
+    fig = benchmark(figure9.run)
+    transformer = dict(zip(*fig.series["transformer_v0.7"]))
+    assert abs(transformer[4] - 2.3) < 0.6
+    ssd = dict(zip(*fig.series["ssd_v0.7"]))
+    maskrcnn = dict(zip(*fig.series["maskrcnn_v0.7"]))
+    assert maskrcnn[8] > ssd[8] > 2.0

@@ -1,0 +1,41 @@
+"""Benchmark: gather -> one-hot matmul and distributed top-k kernels (§4.5)."""
+
+import numpy as np
+import pytest
+
+from repro.spmd.gather_exec import (
+    distributed_topk,
+    gather_as_onehot_matmul,
+    sharded_onehot_gather,
+    topk_direct,
+)
+
+
+@pytest.fixture(scope="module")
+def roi_workload():
+    rng = np.random.default_rng(0)
+    table = rng.standard_normal((4096, 256)).astype(np.float32)
+    ids = rng.integers(0, 4096, 1000)
+    return table, ids
+
+
+def test_gather_onehot_matmul(benchmark, roi_workload):
+    table, ids = roi_workload
+    out = benchmark(gather_as_onehot_matmul, table, ids)
+    assert np.allclose(out, table[ids])
+
+
+def test_sharded_onehot_gather(benchmark, roi_workload):
+    table, ids = roi_workload
+    shards = list(np.array_split(table, 4))
+    out = benchmark(sharded_onehot_gather, shards, ids, "f32")
+    assert np.allclose(out, table[ids], rtol=1e-4, atol=1e-4)
+
+
+def test_distributed_topk(benchmark):
+    rng = np.random.default_rng(1)
+    values = rng.standard_normal(262_144)
+    shards = list(np.array_split(values, 8))
+    dv, di = benchmark(distributed_topk, shards, 1000)
+    ev, ei = topk_direct(values, 1000)
+    assert np.array_equal(di, ei)

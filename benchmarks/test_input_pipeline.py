@@ -1,0 +1,18 @@
+"""Benchmark: multipod input-pipeline imbalance study (§3.5)."""
+
+from repro.experiments import ablations
+
+
+def test_input_pipeline(benchmark):
+    table = benchmark.pedantic(
+        ablations.input_pipeline_ablation, rounds=1, iterations=1
+    )
+    compressed = next(r for r in table.rows if r[0] == "jpeg_compressed")
+    uncompressed = next(r for r in table.rows if r[0] == "uncompressed")
+    assert compressed[1] > uncompressed[1]
+    assert uncompressed[1] < 1.05
+
+
+def test_dlrm_input(benchmark):
+    table = benchmark(ablations.dlrm_input_ablation)
+    assert table.rows[-1][2] == "yes"

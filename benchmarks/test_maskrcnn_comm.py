@@ -1,0 +1,11 @@
+"""Benchmark: MaskRCNN comm-overhead ablation (§4.5's 30% -> 10% claim)."""
+
+from repro.experiments import ablations
+
+
+def test_maskrcnn_comm(benchmark):
+    table = benchmark(ablations.maskrcnn_comm_ablation)
+    v06 = next(r for r in table.rows if r[0] == "v0.6")
+    v07 = next(r for r in table.rows if r[0] == "v0.7")
+    assert abs(v06[5] - 30.0) < 10.0
+    assert abs(v07[5] - 10.0) < 5.0

@@ -1,0 +1,46 @@
+"""Benchmark: functional parallel-training steps (DP, WUS, hybrid)."""
+
+import numpy as np
+import pytest
+
+from repro.core.data_parallel import DataParallelTrainer
+from repro.core.model_parallel import HybridParallelTrainer
+from repro.core.weight_update_sharding import WeightUpdateShardedTrainer
+from repro.models.mlp import MLP, synthetic_classification
+from repro.optim import LAMB
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(0)
+    model = MLP([32, 64, 32, 8])
+    x, y = synthetic_classification(rng, 256, 32, 8)
+    return model, x, y
+
+
+def _step(trainer, x, y):
+    return trainer.step(x, y)
+
+
+def test_data_parallel_step(benchmark, workload):
+    model, x, y = workload
+    trainer = DataParallelTrainer(model, LAMB(0.01), dp_x=8)
+    trainer.init(np.random.default_rng(0))
+    loss = benchmark(_step, trainer, x, y)
+    assert np.isfinite(loss)
+
+
+def test_wus_step(benchmark, workload):
+    model, x, y = workload
+    trainer = WeightUpdateShardedTrainer(model, LAMB(0.01), num_replicas=8)
+    trainer.init(np.random.default_rng(0))
+    loss = benchmark(_step, trainer, x, y)
+    assert np.isfinite(loss)
+
+
+def test_hybrid_step(benchmark, workload):
+    model, x, y = workload
+    trainer = HybridParallelTrainer(model, LAMB(0.01), dp_size=4, mp_size=2)
+    trainer.init(np.random.default_rng(0))
+    loss = benchmark(_step, trainer, x, y)
+    assert np.isfinite(loss)

@@ -1,0 +1,9 @@
+"""Benchmark: the sensitivity-analysis grid (robustness of conclusions)."""
+
+from repro.experiments import sensitivity
+
+
+def test_sensitivity(benchmark):
+    table = benchmark(sensitivity.run)
+    # The schedule ordering must hold in every perturbation corner.
+    assert all(row[1] == "yes" for row in table.rows)

@@ -1,0 +1,15 @@
+"""Benchmark: BERT shuffle-quality study (§3.5)."""
+
+from repro.experiments import ablations
+
+
+def test_shuffle_quality(benchmark):
+    table = benchmark.pedantic(
+        ablations.shuffle_quality_ablation, rounds=1, iterations=1
+    )
+    # Large buffers reduce run-to-run batch bias under either policy.
+    rows = {(r[0], r[1]): r for r in table.rows}
+    assert (
+        rows[("shuffle_before_repeat", 1024)][3]
+        < rows[("shuffle_before_repeat", 64)][3]
+    )

@@ -1,0 +1,30 @@
+"""Benchmark: functional spatial partitioning (halo-exchange conv stack)."""
+
+import numpy as np
+import pytest
+
+from repro.spmd.spatial_exec import conv2d_direct, spatial_conv_stack
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((1, 48, 32, 4)).astype(np.float32)
+    weights = [
+        rng.standard_normal((3, 3, 4, 8)).astype(np.float32) * 0.2,
+        rng.standard_normal((3, 3, 8, 8)).astype(np.float32) * 0.2,
+    ]
+    return x, weights
+
+
+def test_direct_conv(benchmark, workload):
+    x, weights = workload
+    out = benchmark(conv2d_direct, x, weights[0])
+    assert out.shape == (1, 48, 32, 8)
+
+
+def test_spatial_stack_4_cores(benchmark, workload):
+    x, weights = workload
+    out, moved = benchmark(spatial_conv_stack, x, weights, 4)
+    assert moved > 0
+    assert out.shape == (1, 48, 32, 8)

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Table 1 (end-to-end times, 7 configurations)."""
+
+from repro.experiments import table1
+from repro.experiments.table1 import PAPER_TF_MINUTES
+
+
+def test_table1(benchmark):
+    table = benchmark(table1.run)
+    assert len(table.rows) == 7
+    for row in table.rows:
+        paper = PAPER_TF_MINUTES[(row[0], row[1])]
+        assert abs(row[2] - paper) / paper < 0.35

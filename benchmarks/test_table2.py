@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Table 2 (TF vs JAX initialization time)."""
+
+from repro.experiments import table2
+
+
+def test_table2(benchmark):
+    table = benchmark(table2.run)
+    assert len(table.rows) == 4
+    for row in table.rows:
+        assert row[3] < row[1]  # JAX init < TF init

@@ -1,0 +1,17 @@
+"""Benchmark: weight-update-sharding ablation (§3.2 and §4.4 claims)."""
+
+from repro.experiments import ablations
+
+
+def test_wus_ablation(benchmark):
+    table = benchmark(ablations.wus_ablation)
+    bert_off = next(r for r in table.rows if r[0] == "bert" and r[2] == "off")
+    assert bert_off[5] > 8.0  # LAMB update a significant step fraction
+    ssd_on = next(r for r in table.rows if r[0] == "ssd" and r[2] == "on")
+    assert abs(ssd_on[6] - 1.10) < 0.07  # the paper's ~10% SSD speedup
+
+
+def test_allreduce_2d_ablation(benchmark):
+    table = benchmark(ablations.allreduce_2d_ablation)
+    for row in table.rows:
+        assert row[4] > 2.0

@@ -1,0 +1,46 @@
+"""Quickstart: model an MLPerf run on the TPU-v3 multipod.
+
+Builds the 4096-chip multipod topology, lets the planner choose the
+parallelization for each benchmark (data parallelism for BERT/ResNet,
+model parallelism for Transformer — Section 6 of the paper), and prints
+the modeled step breakdown and end-to-end time next to the paper's
+Table 1 values.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro.core.planner import plan_parallelism
+from repro.experiments.calibration import end_to_end_model, spec_for
+from repro.experiments.table1 import PAPER_TF_MINUTES, TABLE1_ROWS
+from repro.hardware.topology import multipod
+
+
+def main() -> None:
+    mesh = multipod(4)
+    print(f"Machine: {mesh} — {mesh.num_chips} chips, {mesh.num_cores} cores, "
+          f"{mesh.num_hosts} hosts")
+    print(f"Bisection bandwidth: {mesh.bisection_bandwidth() / 1e12:.2f} TB/s\n")
+
+    header = (f"{'benchmark':12s} {'chips':>5s} {'batch':>6s} {'mp':>3s} "
+              f"{'step ms':>8s} {'allreduce':>9s} {'e2e min':>8s} {'paper':>6s}")
+    print(header)
+    print("-" * len(header))
+    for name, chips, _ in TABLE1_ROWS:
+        spec = spec_for(name)
+        plan = plan_parallelism(spec, chips)
+        result = end_to_end_model(name, "tf").run(plan.config)
+        step = result.step
+        print(
+            f"{name:12s} {chips:5d} {plan.config.global_batch:6d} "
+            f"{plan.config.mp_cores:3d} {step.total * 1e3:8.2f} "
+            f"{step.allreduce_fraction:8.1%} "
+            f"{result.total_minutes:8.3f} "
+            f"{PAPER_TF_MINUTES[(name, chips)]:6.3f}"
+        )
+        print(f"{'':12s} plan: {plan.rationale}")
+    print("\nRegenerate every table/figure with: python -m repro.experiments all")
+
+
+if __name__ == "__main__":
+    main()

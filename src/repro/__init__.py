@@ -1,0 +1,34 @@
+"""Reproduction of *Exploring the Limits of Concurrency in ML Training on
+Google TPUs* (Kumar et al., MLSys 2021).
+
+The package provides four layers:
+
+``repro.hardware`` / ``repro.sim`` / ``repro.comm``
+    A parameterized model of the TPU-v3 Multipod (a 128x32 2-D mesh of chips
+    with torus wrap links on the Y edges and cross-pod optical links along X),
+    a discrete-event simulator, and collective-communication algorithms with
+    alpha-beta cost models validated against the simulator.
+
+``repro.runtime`` / ``repro.spmd`` / ``repro.optim``
+    A functional "virtual mesh" that executes the paper's collective and
+    parallelism algorithms for real on numpy shards, an SPMD partitioner in
+    the style of XLA's (spatial partitioning with halo exchange, feature
+    sharding, weight-update sharding), and the LARS/LAMB large-batch
+    optimizers.
+
+``repro.core``
+    The paper's contribution: parallelism strategies, the step-time and
+    end-to-end-time models, convergence (steps-to-accuracy) models, and an
+    automatic parallelism planner.
+
+``repro.models`` / ``repro.frameworks`` / ``repro.input_pipeline`` /
+``repro.metrics`` / ``repro.experiments``
+    MLPerf v0.7 model cost specs, single-client (TF-like) vs. multi-client
+    (JAX-like) framework models, host input-pipeline simulation, evaluation
+    metrics, and the drivers that regenerate every table and figure of the
+    paper's evaluation section.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

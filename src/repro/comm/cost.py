@@ -1,0 +1,167 @@
+"""Alpha-beta cost formulas for ring and line collectives.
+
+Conventions
+-----------
+* ``payload_bytes`` is the per-participant buffer size *before* the
+  collective (the gradient size for reduce-scatter, the full result size
+  for all-gather).
+* Links are full duplex with ``bandwidth`` bytes/s per direction.
+* A **closed** ring (a torus dimension) runs the bidirectional ring
+  algorithm: the payload is split in two halves circulating in opposite
+  directions, so the bandwidth term sees ``2 x bandwidth``.
+* An **open** line (a mesh dimension) is limited by its bisection: the
+  middle link must carry the full payload in each direction, so the
+  bandwidth term sees only ``1 x bandwidth``.  (This is exactly why the
+  paper routes the bulk of the gradient reduction along the Y *torus*
+  dimension and leaves only ``1/y_size`` of the payload for the X mesh.)
+* ``hop_links`` is the number of physical links between ring neighbors
+  (``m`` for the model-peer rings of Figure 4 that hop over ``m-1``
+  model-parallel chips).
+* ``bandwidth_fraction`` accounts for physical links shared by several
+  logical rings (the ``m`` peer rings of an ``m``-way model-parallel job
+  share every X link, so each sees ``1/m`` of it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.rings import Ring
+from repro.hardware.topology import LinkKind, TorusMesh
+
+
+def _validate(num_members: int, payload_bytes: float, bandwidth: float) -> None:
+    if num_members < 1:
+        raise ValueError(f"num_members must be >= 1, got {num_members}")
+    if payload_bytes < 0:
+        raise ValueError("payload_bytes must be non-negative")
+    if bandwidth <= 0:
+        raise ValueError("bandwidth must be positive")
+
+
+def reduce_scatter_time(
+    num_members: int,
+    payload_bytes: float,
+    bandwidth: float,
+    latency: float,
+    *,
+    closed: bool = True,
+    hop_links: int = 1,
+    bandwidth_fraction: float = 1.0,
+) -> float:
+    """Time for a ring/line reduce-scatter leaving each member 1/n of the sum."""
+    _validate(num_members, payload_bytes, bandwidth)
+    if not 0 < bandwidth_fraction <= 1.0:
+        raise ValueError("bandwidth_fraction must be in (0, 1]")
+    n = num_members
+    if n == 1 or payload_bytes == 0:
+        return 0.0
+    bw = bandwidth * bandwidth_fraction
+    directions = 2.0 if closed else 1.0
+    bandwidth_term = (n - 1) / n * payload_bytes / (directions * bw)
+    latency_term = (n - 1) * latency * hop_links
+    return bandwidth_term + latency_term
+
+
+def all_gather_time(
+    num_members: int,
+    payload_bytes: float,
+    bandwidth: float,
+    latency: float,
+    *,
+    closed: bool = True,
+    hop_links: int = 1,
+    bandwidth_fraction: float = 1.0,
+) -> float:
+    """Time for a ring/line all-gather assembling a ``payload_bytes`` result.
+
+    ``payload_bytes`` is the *full* gathered size; each member starts with a
+    ``payload_bytes / n`` shard.  The data motion mirrors reduce-scatter, so
+    the cost formula is identical.
+    """
+    return reduce_scatter_time(
+        num_members,
+        payload_bytes,
+        bandwidth,
+        latency,
+        closed=closed,
+        hop_links=hop_links,
+        bandwidth_fraction=bandwidth_fraction,
+    )
+
+
+def ring_all_reduce_time(
+    num_members: int,
+    payload_bytes: float,
+    bandwidth: float,
+    latency: float,
+    *,
+    closed: bool = True,
+    hop_links: int = 1,
+    bandwidth_fraction: float = 1.0,
+) -> float:
+    """Reduce-scatter followed by all-gather (the classic ring all-reduce)."""
+    one_phase = reduce_scatter_time(
+        num_members,
+        payload_bytes,
+        bandwidth,
+        latency,
+        closed=closed,
+        hop_links=hop_links,
+        bandwidth_fraction=bandwidth_fraction,
+    )
+    return 2.0 * one_phase
+
+
+def broadcast_time(
+    num_members: int,
+    payload_bytes: float,
+    bandwidth: float,
+    latency: float,
+    *,
+    closed: bool = True,
+) -> float:
+    """Pipelined chunk broadcast from one member to all others.
+
+    On a closed ring the payload is split in two halves travelling opposite
+    ways (each covering half the ring); on a line it pipelines one way.
+    """
+    _validate(num_members, payload_bytes, bandwidth)
+    n = num_members
+    if n == 1 or payload_bytes == 0:
+        return 0.0
+    if closed:
+        hops = n // 2
+        return payload_bytes / (2 * bandwidth) + hops * latency
+    return payload_bytes / bandwidth + (n - 1) * latency
+
+
+@dataclass(frozen=True)
+class RingCostParams:
+    """Concrete alpha-beta parameters extracted from a mesh ring."""
+
+    num_members: int
+    bandwidth: float
+    latency: float
+    closed: bool
+    hop_links: int
+
+
+def ring_cost_for(mesh: TorusMesh, ring: Ring) -> RingCostParams:
+    """Extract cost parameters for a ring laid out on a mesh.
+
+    The per-step latency is gated by the slowest link any segment uses —
+    on a multipod X line that is the cross-pod optical link.
+    """
+    worst_latency = mesh.chip.link_latency
+    for segment in ring.segments(mesh):
+        for link in segment:
+            if link.kind is LinkKind.CROSS_POD:
+                worst_latency = max(worst_latency, mesh.chip.cross_pod_link_latency)
+    return RingCostParams(
+        num_members=ring.size,
+        bandwidth=mesh.link_bandwidth,
+        latency=worst_latency,
+        closed=ring.closed,
+        hop_links=ring.hop_stride,
+    )

@@ -1,0 +1,148 @@
+"""End-to-end MLPerf time model: train loop + periodic evaluation.
+
+MLPerf wall-clock starts after initialization (Table 2 reports init
+separately), so ``total = steps x step_time + evals x (eval pass + metric
+path)``.  The eval pass runs distributed on the same slice; the metric path
+differs by framework (Section 3.4): TF gathers per-host metrics to the
+coordinator, JAX all-reduces on device.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.convergence import ConvergenceModel
+from repro.core.step_time import StepTimeBreakdown, StepTimeModel
+from repro.core.strategy import ParallelismConfig
+from repro.frameworks.base import FrameworkModel, GraphProfile
+from repro.frameworks.jax import MultiClientJAX
+from repro.hardware.topology import TorusMesh, slice_for_chips
+from repro.models.costspec import ModelCostSpec
+
+#: How often each benchmark evaluates (MLPerf rules): epochs between evals,
+#: except BERT which evaluates every N training samples.
+EVAL_INTERVAL_EPOCHS: dict[str, float] = {
+    "resnet50": 4.0,
+    "ssd": 5.0,
+    "maskrcnn": 1.0,
+    "transformer": 1.0,
+    "dlrm": 0.05,  # 20 evals over the run
+}
+BERT_EVAL_INTERVAL_SAMPLES = 500_000
+
+
+def num_evals_for(spec: ModelCostSpec, convergence: ConvergenceModel,
+                  global_batch: int) -> int:
+    """Evaluation count for a run, per the MLPerf cadence rules."""
+    if spec.name == "bert":
+        samples = convergence.samples_to_converge(global_batch)
+        return max(1, math.ceil(samples / BERT_EVAL_INTERVAL_SAMPLES))
+    epochs = convergence.epochs_to_converge(global_batch)
+    interval = EVAL_INTERVAL_EPOCHS[spec.name]
+    return max(1, math.ceil(epochs / interval))
+
+
+@dataclass(frozen=True)
+class EndToEndResult:
+    """The modeled MLPerf run."""
+
+    benchmark: str
+    num_chips: int
+    framework: str
+    config: ParallelismConfig
+    steps: int
+    step: StepTimeBreakdown
+    num_evals: int
+    eval_seconds: float
+    init_seconds: float
+
+    @property
+    def train_seconds(self) -> float:
+        return self.steps * self.step.total
+
+    @property
+    def total_seconds(self) -> float:
+        """MLPerf end-to-end (excludes init, as the paper's Table 1 does)."""
+        return self.train_seconds + self.eval_seconds
+
+    @property
+    def total_minutes(self) -> float:
+        return self.total_seconds / 60.0
+
+    @property
+    def throughput_examples_per_second(self) -> float:
+        return self.config.global_batch / self.step.total
+
+
+class EndToEndModel:
+    """Composes convergence, step-time, and framework models for one run."""
+
+    def __init__(
+        self,
+        spec: ModelCostSpec,
+        *,
+        mxu_efficiency: float = 0.45,
+        step_overhead: float = 1.0e-4,
+        eval_efficiency_factor: float = 0.5,
+        eval_overhead_seconds: float = 0.2,
+        framework: FrameworkModel | None = None,
+        graph_profile: GraphProfile | None = None,
+    ) -> None:
+        self.spec = spec
+        self.convergence = ConvergenceModel(spec)
+        self.mxu_efficiency = mxu_efficiency
+        self.step_overhead = step_overhead
+        self.eval_efficiency_factor = eval_efficiency_factor
+        self.eval_overhead_seconds = eval_overhead_seconds
+        self.framework = framework if framework is not None else MultiClientJAX()
+        self.graph_profile = graph_profile or GraphProfile(spec.name, 60.0, 0.5)
+
+    def _num_evals(self, global_batch: int) -> int:
+        return num_evals_for(self.spec, self.convergence, global_batch)
+
+    def _eval_pass_seconds(self, mesh: TorusMesh) -> float:
+        """One distributed eval pass: forward-only FLOPs over the slice."""
+        forward_flops = self.spec.flops_per_example / 3.0
+        cluster = (
+            mesh.num_chips
+            * mesh.chip.peak_matmul_flops
+            * self.mxu_efficiency
+            * self.eval_efficiency_factor
+        )
+        return self.spec.eval_examples * forward_flops / cluster
+
+    def run(
+        self,
+        config: ParallelismConfig,
+        mesh: TorusMesh | None = None,
+    ) -> EndToEndResult:
+        """Model a full MLPerf run under a parallelism config."""
+        mesh = mesh if mesh is not None else slice_for_chips(config.num_chips)
+        step_model = StepTimeModel(
+            self.spec,
+            config,
+            mesh=mesh,
+            mxu_efficiency=self.mxu_efficiency,
+            step_overhead=self.step_overhead,
+        )
+        breakdown = step_model.breakdown()
+        steps = self.convergence.steps_to_converge(config.global_batch)
+        num_evals = self._num_evals(config.global_batch)
+        per_eval = (
+            self._eval_pass_seconds(mesh)
+            + self.eval_overhead_seconds
+            + self.framework.eval_metric_time(mesh.num_hosts, metric_bytes=8.0)
+        )
+        init = self.framework.init_time(mesh.num_hosts, self.graph_profile)
+        return EndToEndResult(
+            benchmark=self.spec.name,
+            num_chips=config.num_chips,
+            framework=self.framework.name,
+            config=config,
+            steps=steps,
+            step=breakdown,
+            num_evals=num_evals,
+            eval_seconds=num_evals * per_eval,
+            init_seconds=init,
+        )

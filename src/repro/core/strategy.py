@@ -1,0 +1,76 @@
+"""Parallelism configuration for the analytic scaling models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class ParallelismConfig:
+    """How a benchmark is laid out on a TPU slice.
+
+    Attributes
+    ----------
+    num_chips:
+        Slice size in chips (each TPU-v3 chip has 2 cores).
+    global_batch:
+        Examples per training step across the whole slice.
+    mp_cores:
+        Model-parallel group size in *cores* (1 = pure data parallelism;
+        SSD/MaskRCNN use up to 8, Transformer up to 4 — Section 3.1).
+    use_weight_update_sharding:
+        Section 3.2's distributed optimizer update.
+    use_2d_allreduce:
+        The hierarchical gradient summation of Section 3.3 (vs. a flat
+        single ring, kept for ablation).
+    spatial_partitioning:
+        Whether model parallelism shards the spatial dims (SSD/MaskRCNN)
+        rather than feature dims (Transformer).
+    """
+
+    num_chips: int
+    global_batch: int
+    mp_cores: int = 1
+    use_weight_update_sharding: bool = True
+    use_2d_allreduce: bool = True
+    spatial_partitioning: bool = False
+
+    def __post_init__(self) -> None:
+        if self.num_chips < 1:
+            raise ValueError("num_chips must be >= 1")
+        if self.global_batch < 1:
+            raise ValueError("global_batch must be >= 1")
+        if self.mp_cores < 1:
+            raise ValueError("mp_cores must be >= 1")
+        if self.num_cores % self.mp_cores != 0:
+            raise ValueError(
+                f"{self.num_cores} cores not divisible by mp_cores={self.mp_cores}"
+            )
+        if self.num_replicas < 1:
+            raise ValueError("mp_cores exceeds total cores")
+
+    @property
+    def num_cores(self) -> int:
+        return self.num_chips * 2
+
+    @property
+    def mp_chips(self) -> int:
+        """Chips spanned by one model-parallel group (2 cores per chip)."""
+        return max(1, self.mp_cores // 2)
+
+    @property
+    def num_replicas(self) -> int:
+        """Data-parallel replica count."""
+        return self.num_cores // self.mp_cores
+
+    @property
+    def batch_per_replica(self) -> float:
+        return self.global_batch / self.num_replicas
+
+    @property
+    def batch_per_core(self) -> float:
+        return self.global_batch / self.num_cores
+
+    def with_(self, **changes) -> "ParallelismConfig":
+        """A modified copy (ablation helper)."""
+        return replace(self, **changes)

@@ -1,0 +1,44 @@
+"""Figure 10: MLPerf v0.7 end-to-end minutes, TPU multipod vs V100/A100.
+
+Bars per benchmark: the TPU-v3 submission configuration vs NVIDIA's V100
+and A100 submission scales, all modeled with the same methodology (see
+:mod:`repro.experiments.gpu`).  The claim to reproduce is the *ordering*:
+at its submission scale the TPU multipod posts the lowest end-to-end times
+on the large benchmarks.
+"""
+
+from __future__ import annotations
+
+from repro.core.planner import plan_parallelism
+from repro.experiments.calibration import end_to_end_model, spec_for
+from repro.experiments.gpu import NVIDIA_V07_SCALES, gpu_end_to_end
+from repro.experiments.report import Table
+from repro.experiments.table1 import TABLE1_ROWS
+
+#: TPU submission scales from Table 1 (best configuration per benchmark).
+TPU_SCALES = {name: chips for name, chips, _ in TABLE1_ROWS}
+
+
+def run() -> Table:
+    table = Table(
+        "Figure 10: end-to-end minutes, TPU-v3 vs GPU clusters (modeled)",
+        ["Benchmark", "TPU chips", "TPU min", "A100 GPUs", "A100 min",
+         "V100 GPUs", "V100 min"],
+    )
+    for name in ("resnet50", "bert", "ssd", "transformer", "maskrcnn", "dlrm"):
+        chips = TPU_SCALES[name]
+        plan = plan_parallelism(spec_for(name), chips)
+        tpu = end_to_end_model(name, "tf").run(plan.config)
+        scales = NVIDIA_V07_SCALES[name]
+        a100 = gpu_end_to_end(name, scales["a100"], "a100")
+        v100 = gpu_end_to_end(name, scales["v100"], "v100")
+        table.add_row(
+            name,
+            chips,
+            round(tpu.total_minutes, 3),
+            a100.num_gpus,
+            round(a100.total_minutes, 3),
+            v100.num_gpus,
+            round(v100.total_minutes, 3),
+        )
+    return table

@@ -1,0 +1,56 @@
+"""Figure 9: speedup via model parallelism (SSD, MaskRCNN, Transformer).
+
+Speedups over 1 core for 2/4/8-core model-parallel tiles, computed by
+partitioning each model's IR graph with the SPMD partitioner and costing
+the result.  The paper's anchor: Transformer reaches ~2.3x on 4 cores;
+SSD's curve saturates earlier than MaskRCNN's (300x300 images leave less
+spatial work per tile than 800x1333).  A v0.6-features series shows the
+gain from the XLA work of Section 4.5.
+"""
+
+from __future__ import annotations
+
+import functools
+
+from repro.experiments.report import Figure
+from repro.spmd.estimator import model_parallel_speedup
+from repro.spmd.modelgraphs import (
+    maskrcnn_graph,
+    spatial_seeds,
+    ssd_graph,
+    transformer_block_graph,
+    transformer_seeds,
+)
+from repro.spmd.partitioner import V06_FEATURES, V07_FEATURES
+
+PAPER_TRANSFORMER_SPEEDUP_4CORES = 2.3
+
+#: (label, graph builder, seed fn, core counts shown in the paper).
+MODELS = (
+    ("ssd", ssd_graph, spatial_seeds, (1, 2, 4, 8)),
+    ("maskrcnn", maskrcnn_graph, spatial_seeds, (1, 2, 4, 8)),
+    (
+        "transformer",
+        functools.partial(transformer_block_graph, seq=27),
+        transformer_seeds,
+        (1, 2, 4),
+    ),
+)
+
+
+def run() -> Figure:
+    fig = Figure(
+        "Figure 9: model-parallelism speedup over 1 core", "cores"
+    )
+    for label, builder, seeds, cores in MODELS:
+        v07 = model_parallel_speedup(builder, seeds, list(cores),
+                                     features=V07_FEATURES)
+        fig.add_series(
+            f"{label}_v0.7", list(cores), [round(v07[k], 2) for k in cores]
+        )
+        v06 = model_parallel_speedup(builder, seeds, list(cores),
+                                     features=V06_FEATURES)
+        fig.add_series(
+            f"{label}_v0.6", list(cores), [round(v06[k], 2) for k in cores]
+        )
+    return fig

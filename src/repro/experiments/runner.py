@@ -1,0 +1,102 @@
+"""CLI: regenerate any table or figure of the paper.
+
+Usage::
+
+    python -m repro.experiments table1
+    python -m repro.experiments figure6
+    python -m repro.experiments ablations
+    python -m repro.experiments all
+    repro-experiments --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import (
+    ablations,
+    sensitivity,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    table1,
+    table2,
+)
+
+EXPERIMENTS = {
+    "table1": table1.run,
+    "table2": table2.run,
+    "figure5": figure5.run,
+    "figure6": figure6.run,
+    "figure7": figure7.run,
+    "figure8": figure8.run,
+    "figure9": figure9.run,
+    "figure10": figure10.run,
+    "figure11": figure11.run,
+    "ablations": ablations.run,
+    "sensitivity": sensitivity.run,
+}
+
+
+def _print_result(result, csv_dir: str | None = None, name: str = "") -> None:
+    items = result if isinstance(result, list) else [result]
+    for i, item in enumerate(items):
+        print(item.format())
+        print()
+        if csv_dir is not None:
+            import os
+
+            os.makedirs(csv_dir, exist_ok=True)
+            suffix = f"_{i}" if len(items) > 1 else ""
+            path = os.path.join(csv_dir, f"{name}{suffix}.csv")
+            with open(path, "w") as fh:
+                fh.write(item.to_csv())
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the tables and figures of the TPU multipod paper.",
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        default="all",
+        help="experiment id (table1, table2, figure5..figure11, ablations, all)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list experiment ids and exit"
+    )
+    parser.add_argument(
+        "--csv", metavar="DIR", default=None,
+        help="also write each table/figure as CSV into DIR",
+    )
+    args = parser.parse_args(argv)
+    if args.list:
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+    if args.experiment == "all":
+        for name, fn in EXPERIMENTS.items():
+            _print_result(fn(), csv_dir=args.csv, name=name)
+        return 0
+    try:
+        fn = EXPERIMENTS[args.experiment]
+    except KeyError:
+        print(
+            f"unknown experiment {args.experiment!r}; choose from "
+            f"{', '.join(EXPERIMENTS)} or 'all'",
+            file=sys.stderr,
+        )
+        return 2
+    _print_result(fn(), csv_dir=args.csv, name=args.experiment)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

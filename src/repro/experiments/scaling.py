@@ -1,0 +1,66 @@
+"""Shared machinery for the scaling figures (5-8): sweeps over chip counts."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.end_to_end import EndToEndResult
+from repro.core.planner import plan_parallelism
+from repro.experiments.calibration import end_to_end_model, spec_for
+
+#: Chip counts of the paper's scaling studies.
+SCALING_CHIPS: tuple[int, ...] = (16, 32, 64, 128, 256, 512, 1024, 2048, 4096)
+
+
+@dataclass(frozen=True)
+class ScalingSweep:
+    """End-to-end runs of one benchmark across slice sizes."""
+
+    benchmark: str
+    runs: dict[int, EndToEndResult]
+
+    @property
+    def chips(self) -> list[int]:
+        return sorted(self.runs)
+
+    def end_to_end_speedup(self, base_chips: int = 16) -> dict[int, float]:
+        """Total-time speedup relative to the smallest slice (Figures 5/7)."""
+        base = self.runs[base_chips].total_seconds
+        return {c: base / self.runs[c].total_seconds for c in self.chips}
+
+    def throughput_speedup(self, base_chips: int = 16) -> dict[int, float]:
+        """Examples/second speedup (the near-ideal curve of Figure 5)."""
+        base = self.runs[base_chips].throughput_examples_per_second
+        return {
+            c: self.runs[c].throughput_examples_per_second / base
+            for c in self.chips
+        }
+
+    def step_breakdown_ms(self) -> dict[int, tuple[float, float]]:
+        """(compute+other, allreduce) device milliseconds (Figures 6/8)."""
+        out = {}
+        for c in self.chips:
+            step = self.runs[c].step
+            other = step.device_time - step.allreduce
+            out[c] = (other * 1e3, step.allreduce * 1e3)
+        return out
+
+    def allreduce_fraction(self, chips: int) -> float:
+        return self.runs[chips].step.allreduce_fraction
+
+    def batch_per_chip(self) -> dict[int, float]:
+        return {
+            c: self.runs[c].config.global_batch / c for c in self.chips
+        }
+
+
+def sweep(benchmark: str, framework: str = "tf",
+          chips: tuple[int, ...] = SCALING_CHIPS) -> ScalingSweep:
+    """Run the calibrated end-to-end model across slice sizes."""
+    spec = spec_for(benchmark)
+    model = end_to_end_model(benchmark, framework)
+    runs = {}
+    for c in chips:
+        plan = plan_parallelism(spec, c)
+        runs[c] = model.run(plan.config)
+    return ScalingSweep(benchmark=benchmark, runs=runs)

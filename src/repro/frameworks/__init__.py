@@ -1,0 +1,24 @@
+"""Framework runtime models: single-client TF vs multi-client JAX (§2).
+
+The paper contrasts two distributed programming models on identical
+hardware:
+
+* **TensorFlow (single-client)** — one Python client builds and optimizes a
+  multi-device graph for the *whole* system and distributes compiled
+  binaries over RPC; setup cost grows with the number of workers (an
+  Amdahl's-law term the paper calls out), and evaluation metrics are
+  gathered to the coordinator over host RPCs.
+* **JAX (multi-client)** — every host runs the same program and compiles
+  its own (deterministically identical) XLA binaries; setup is dominated by
+  TPU mesh initialization and per-host compilation, nearly independent of
+  system size, and eval metrics reduce on-device.
+
+Table 2 (initialization times) and the eval-metric paths of Section 3.4
+come from these two models.
+"""
+
+from repro.frameworks.base import FrameworkModel
+from repro.frameworks.tensorflow import SingleClientTF
+from repro.frameworks.jax import MultiClientJAX
+
+__all__ = ["FrameworkModel", "SingleClientTF", "MultiClientJAX"]

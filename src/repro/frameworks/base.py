@@ -1,0 +1,39 @@
+"""Common interface of the framework runtime models."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GraphProfile:
+    """Compilation-relevant size of one benchmark's program.
+
+    ``compile_seconds`` is the time to XLA-compile the per-replica program
+    once on one host; ``graph_build_seconds_per_worker`` the single-client
+    cost of constructing/optimizing the multi-device graph per attached
+    worker (TensorFlow only).
+    """
+
+    name: str
+    compile_seconds: float
+    graph_build_seconds_per_worker: float
+
+    def __post_init__(self) -> None:
+        if self.compile_seconds < 0 or self.graph_build_seconds_per_worker < 0:
+            raise ValueError("profile times must be non-negative")
+
+
+class FrameworkModel(abc.ABC):
+    """A framework's scaling behaviour on a TPU slice."""
+
+    name: str
+
+    @abc.abstractmethod
+    def init_time(self, num_hosts: int, profile: GraphProfile) -> float:
+        """Seconds from job launch to the first training step."""
+
+    @abc.abstractmethod
+    def eval_metric_time(self, num_hosts: int, metric_bytes: float) -> float:
+        """Seconds to produce the global eval metric after an eval pass."""

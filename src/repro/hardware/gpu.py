@@ -1,0 +1,115 @@
+"""GPU cluster comparator model (Figures 10-11).
+
+NVIDIA's MLPerf v0.7 submissions ran on DGX systems: 8 or 16 GPUs per node
+joined by NVLink/NVSwitch, nodes joined by InfiniBand.  We model the
+standard NCCL-style hierarchical all-reduce — intra-node reduce-scatter over
+NVLink, inter-node ring over IB on the node shards, intra-node all-gather —
+which is the right abstraction level for reproducing the *shape* of the
+TPU-vs-GPU end-to-end comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.chip import ChipSpec, GPU_A100, GPU_V100
+
+
+@dataclass(frozen=True)
+class GpuCluster:
+    """A homogeneous GPU cluster of NVLink islands joined by InfiniBand.
+
+    Attributes
+    ----------
+    chip:
+        Per-GPU spec.
+    num_gpus:
+        Total GPU count.
+    gpus_per_node:
+        NVLink island size.
+    nvlink_bandwidth:
+        Effective per-GPU NVLink bandwidth in bytes/s (aggregate over links).
+    ib_bandwidth:
+        Effective per-node InfiniBand bandwidth in bytes/s.
+    ib_latency:
+        Per-message inter-node latency in seconds.
+    nvlink_latency:
+        Per-message intra-node latency in seconds.
+    """
+
+    chip: ChipSpec
+    num_gpus: int
+    gpus_per_node: int = 8
+    nvlink_bandwidth: float = 150e9
+    ib_bandwidth: float = 100e9
+    ib_latency: float = 5.0e-6
+    nvlink_latency: float = 2.0e-6
+
+    def __post_init__(self) -> None:
+        if self.num_gpus < 1:
+            raise ValueError("num_gpus must be >= 1")
+        if self.num_gpus % self.gpus_per_node and self.num_gpus > self.gpus_per_node:
+            raise ValueError(
+                f"num_gpus {self.num_gpus} not a multiple of node size "
+                f"{self.gpus_per_node}"
+            )
+
+    @property
+    def num_nodes(self) -> int:
+        return max(1, self.num_gpus // self.gpus_per_node)
+
+    def allreduce_time(self, payload_bytes: float) -> float:
+        """Hierarchical (NCCL-style) all-reduce latency for one replica payload.
+
+        Three phases:
+
+        1. intra-node reduce-scatter over NVLink,
+        2. inter-node ring all-reduce over IB on the ``1/gpus_per_node``
+           shard,
+        3. intra-node all-gather over NVLink.
+        """
+        if payload_bytes < 0:
+            raise ValueError("payload must be non-negative")
+        n_local = min(self.num_gpus, self.gpus_per_node)
+        t = 0.0
+        if n_local > 1:
+            frac = (n_local - 1) / n_local
+            # reduce-scatter + all-gather over NVLink
+            t += 2 * (frac * payload_bytes / self.nvlink_bandwidth
+                      + (n_local - 1) * self.nvlink_latency)
+        nodes = self.num_nodes
+        if nodes > 1:
+            shard = payload_bytes / n_local
+            frac = (nodes - 1) / nodes
+            # ring all-reduce = reduce-scatter + all-gather over IB
+            t += 2 * (frac * shard / self.ib_bandwidth
+                      + (nodes - 1) * self.ib_latency)
+        return t
+
+    def compute_time(self, flops_per_gpu: float, efficiency: float) -> float:
+        """Seconds of tensor-core compute per step per GPU."""
+        return self.chip.matmul_time(flops_per_gpu, efficiency)
+
+
+def dgx_cluster(num_gpus: int, generation: str = "a100") -> GpuCluster:
+    """A DGX-style cluster of ``num_gpus`` V100s or A100s."""
+    gen = generation.lower()
+    if gen == "a100":
+        # DGX-A100: NVSwitch ~300 GB/s usable per GPU, 8x HDR200 IB per node.
+        return GpuCluster(
+            chip=GPU_A100,
+            num_gpus=num_gpus,
+            gpus_per_node=8,
+            nvlink_bandwidth=250e9,
+            ib_bandwidth=180e9,
+        )
+    if gen == "v100":
+        # DGX-2H island of 16 via NVSwitch, 8x EDR100 IB per node.
+        return GpuCluster(
+            chip=GPU_V100,
+            num_gpus=num_gpus,
+            gpus_per_node=16,
+            nvlink_bandwidth=120e9,
+            ib_bandwidth=80e9,
+        )
+    raise ValueError(f"unknown GPU generation {generation!r}; use 'v100' or 'a100'")

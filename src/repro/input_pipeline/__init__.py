@@ -1,0 +1,52 @@
+"""Host input-pipeline simulation and shuffle-quality analysis (§3.5).
+
+Three studies from the paper live here:
+
+* **ResNet-50 load imbalance** — on a multipod, a few hosts hit runs of
+  large JPEGs and stall their chips; storing *uncompressed* images plus a
+  deep prefetch buffer removes the imbalance.  :mod:`repro.input_pipeline.host`
+  simulates per-host worker pools and prefetch buffers with the DES;
+  :mod:`repro.input_pipeline.imbalance` runs the multi-host comparison.
+* **BERT shuffle quality** — with 512 hosts sharing 500 files, shuffle
+  order and buffer size determine coverage and run-to-run batch bias.
+  :mod:`repro.input_pipeline.shuffle` measures both for each policy.
+* **DLRM input bound** — batch-granularity parsing, feature stacking over
+  PCIe, and pre-serialized batches.  :mod:`repro.input_pipeline.dlrm_input`.
+"""
+
+from repro.input_pipeline.stages import (
+    PipelineStage,
+    jpeg_decode_stage,
+    uncompressed_read_stage,
+    crop_flip_normalize_stage,
+    JpegSizeModel,
+)
+from repro.input_pipeline.host import HostPipelineResult, simulate_host_pipeline
+from repro.input_pipeline.imbalance import (
+    ImbalanceReport,
+    multipod_input_imbalance,
+)
+from repro.input_pipeline.shuffle import (
+    ShuffleQualityReport,
+    simulate_shuffle_policy,
+)
+from repro.input_pipeline.dlrm_input import (
+    DlrmInputConfig,
+    dlrm_input_throughput,
+)
+
+__all__ = [
+    "PipelineStage",
+    "jpeg_decode_stage",
+    "uncompressed_read_stage",
+    "crop_flip_normalize_stage",
+    "JpegSizeModel",
+    "HostPipelineResult",
+    "simulate_host_pipeline",
+    "ImbalanceReport",
+    "multipod_input_imbalance",
+    "ShuffleQualityReport",
+    "simulate_shuffle_policy",
+    "DlrmInputConfig",
+    "dlrm_input_throughput",
+]

@@ -1,0 +1,95 @@
+"""DLRM host input optimizations (§3.5, §4.6).
+
+DLRM runs huge batches (65536) at tiny step latencies (~2 ms), so the host
+pipeline becomes the bottleneck unless:
+
+1. parsing happens at **batch granularity** (one parse dispatch per batch,
+   not per sample);
+2. the ~40 input features are **stacked** into one PCIe transfer instead of
+   ~40 small ones;
+3. batches are **pre-shuffled and pre-serialized** so the hot loop is a
+   read + transfer.
+
+This module models host throughput for each combination and reports whether
+the configuration can feed the device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.chip import HostSpec, TPU_V3_HOST
+from repro.models.dlrm import NUM_CATEGORICAL, NUM_DENSE
+
+
+@dataclass(frozen=True)
+class DlrmInputConfig:
+    """Host pipeline configuration toggles."""
+
+    batch_granularity_parsing: bool = True
+    stacked_features: bool = True
+    pre_serialized: bool = True
+
+    @property
+    def label(self) -> str:
+        flags = [
+            "batch-parse" if self.batch_granularity_parsing else "sample-parse",
+            "stacked" if self.stacked_features else "per-feature",
+            "pre-serialized" if self.pre_serialized else "serialize-online",
+        ]
+        return "+".join(flags)
+
+
+#: Host-side fixed costs (seconds).  Per-sample parsing dispatches one
+#: deserialization call per example (~2 us of CPU including allocator and
+#: framing overhead); batch-granularity parsing amortizes that into one
+#: call per batch.
+PER_SAMPLE_PARSE_OVERHEAD = 2.0e-6
+PER_BATCH_PARSE_OVERHEAD = 2.0e-4
+PER_TRANSFER_OVERHEAD = 5.0e-5
+SERIALIZE_BYTES_FACTOR = 2.0  # extra memcpy when serializing online
+
+
+def dlrm_input_throughput(
+    config: DlrmInputConfig,
+    *,
+    batch_per_host: int = 8192,
+    host: HostSpec = TPU_V3_HOST,
+) -> float:
+    """Examples/second one host can feed under a configuration."""
+    if batch_per_host < 1:
+        raise ValueError("batch_per_host must be >= 1")
+    num_features = NUM_DENSE + NUM_CATEGORICAL + 1  # + label
+    bytes_per_example = num_features * 4
+    # Parsing CPU time per batch.
+    if config.batch_granularity_parsing:
+        parse = PER_BATCH_PARSE_OVERHEAD
+    else:
+        parse = PER_SAMPLE_PARSE_OVERHEAD * batch_per_host
+    parse /= host.cpu_cores  # parallel parsing across host cores
+    # Serialization memcpy per batch.
+    serialize = 0.0
+    if not config.pre_serialized:
+        serialize = (
+            SERIALIZE_BYTES_FACTOR * bytes_per_example * batch_per_host
+            / (host.memcpy_rate * host.cpu_cores)
+        )
+    # PCIe transfer: one stacked transfer vs one per feature.
+    payload = bytes_per_example * batch_per_host
+    transfers = 1 if config.stacked_features else num_features
+    pcie = transfers * PER_TRANSFER_OVERHEAD + payload / host.pcie_bandwidth
+    seconds_per_batch = parse + serialize + pcie
+    return batch_per_host / seconds_per_batch
+
+
+def is_input_bound(
+    config: DlrmInputConfig,
+    *,
+    device_step_seconds: float,
+    batch_per_host: int = 8192,
+    host: HostSpec = TPU_V3_HOST,
+) -> bool:
+    """True when the host cannot feed the device at its step latency."""
+    throughput = dlrm_input_throughput(config, batch_per_host=batch_per_host, host=host)
+    needed = batch_per_host / device_step_seconds
+    return throughput < needed

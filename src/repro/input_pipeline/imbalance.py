@@ -1,0 +1,94 @@
+"""Multi-host input load imbalance on a multipod (§3.5, ResNet-50).
+
+At 512 hosts, the *slowest host each step* gates the whole synchronous
+machine.  With JPEG decode in the pipeline the per-host feed time is heavy-
+tailed and the max over hosts is far above the mean; with uncompressed
+images plus a deep prefetch buffer the feed time is flat and the imbalance
+disappears.  This module runs per-host pipeline simulations and reports the
+multipod-level slowdown for both configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.chip import HostSpec, TPU_V3_HOST
+from repro.input_pipeline.host import HostPipelineResult, simulate_host_pipeline
+from repro.input_pipeline.stages import (
+    crop_flip_normalize_stage,
+    jpeg_decode_stage,
+    uncompressed_read_stage,
+)
+
+
+@dataclass(frozen=True)
+class ImbalanceReport:
+    """Multipod input-pipeline imbalance for one pipeline configuration."""
+
+    label: str
+    num_hosts: int
+    per_host: tuple[HostPipelineResult, ...]
+
+    @property
+    def mean_slowdown(self) -> float:
+        return sum(r.slowdown for r in self.per_host) / len(self.per_host)
+
+    @property
+    def max_slowdown(self) -> float:
+        """The synchronous machine runs at the slowest host's pace."""
+        return max(r.slowdown for r in self.per_host)
+
+    @property
+    def stall_fraction(self) -> float:
+        return max(r.stall_fraction for r in self.per_host)
+
+
+def multipod_input_imbalance(
+    *,
+    num_hosts: int = 32,
+    batch_per_host: int = 128,
+    device_step_seconds: float = 0.012,
+    steps: int = 40,
+    workers: int = 32,
+    prefetch_batches_compressed: float = 1.0,
+    prefetch_batches_uncompressed: float = 8.0,
+    host: HostSpec = TPU_V3_HOST,
+    seed: int = 0,
+) -> tuple[ImbalanceReport, ImbalanceReport]:
+    """Compare compressed vs uncompressed pipelines across hosts.
+
+    Returns ``(compressed_report, uncompressed_report)``.  ``num_hosts`` is
+    a sample of the multipod's 512 hosts (the max-statistics already bite
+    at tens of hosts).
+    """
+    if num_hosts < 1:
+        raise ValueError("num_hosts must be >= 1")
+    compressed = []
+    uncompressed = []
+    for h in range(num_hosts):
+        compressed.append(
+            simulate_host_pipeline(
+                [jpeg_decode_stage(host), crop_flip_normalize_stage(host)],
+                batch_per_host=batch_per_host,
+                device_step_seconds=device_step_seconds,
+                steps=steps,
+                workers=workers,
+                prefetch_batches=prefetch_batches_compressed,
+                seed=seed * 1000 + h,
+            )
+        )
+        uncompressed.append(
+            simulate_host_pipeline(
+                [uncompressed_read_stage(host), crop_flip_normalize_stage(host)],
+                batch_per_host=batch_per_host,
+                device_step_seconds=device_step_seconds,
+                steps=steps,
+                workers=workers,
+                prefetch_batches=prefetch_batches_uncompressed,
+                seed=seed * 1000 + h,
+            )
+        )
+    return (
+        ImbalanceReport("jpeg_compressed", num_hosts, tuple(compressed)),
+        ImbalanceReport("uncompressed", num_hosts, tuple(uncompressed)),
+    )

@@ -1,0 +1,83 @@
+"""Input-pipeline stage cost models.
+
+A stage maps one example to CPU seconds on a host worker.  JPEG decode cost
+is proportional to the *compressed* size, which is heavy-tailed across
+ImageNet — the source of the load imbalance; uncompressed reads cost a
+near-constant memcpy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.hardware.chip import HostSpec, TPU_V3_HOST
+
+
+@dataclass(frozen=True)
+class JpegSizeModel:
+    """Lognormal model of ImageNet JPEG sizes (median ~110 KB, heavy tail)."""
+
+    median_bytes: float = 110e3
+    sigma: float = 0.55
+    max_bytes: float = 2e6
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        sizes = rng.lognormal(mean=np.log(self.median_bytes), sigma=self.sigma, size=n)
+        return np.minimum(sizes, self.max_bytes)
+
+
+@dataclass(frozen=True)
+class PipelineStage:
+    """One host-side preprocessing stage.
+
+    ``cost_fn(rng)`` returns the CPU seconds one example spends in this
+    stage (drawn per example, so heavy-tailed stages create stalls).
+    """
+
+    name: str
+    cost_fn: Callable[[np.random.Generator], float]
+
+    def sample_cost(self, rng: np.random.Generator) -> float:
+        cost = self.cost_fn(rng)
+        if cost < 0:
+            raise ValueError(f"stage {self.name} produced negative cost")
+        return cost
+
+
+def jpeg_decode_stage(
+    host: HostSpec = TPU_V3_HOST, sizes: JpegSizeModel = JpegSizeModel()
+) -> PipelineStage:
+    """Decode a compressed JPEG: cost = compressed bytes / decode rate."""
+
+    def cost(rng: np.random.Generator) -> float:
+        size = float(sizes.sample(rng, 1)[0])
+        return size / host.jpeg_decode_rate
+
+    return PipelineStage("jpeg_decode", cost)
+
+
+def uncompressed_read_stage(
+    host: HostSpec = TPU_V3_HOST, image_bytes: float = 224 * 224 * 3
+) -> PipelineStage:
+    """Read an uncompressed image from host memory: a constant memcpy."""
+    per_example = image_bytes / host.memcpy_rate
+
+    def cost(rng: np.random.Generator) -> float:
+        return per_example
+
+    return PipelineStage("uncompressed_read", cost)
+
+
+def crop_flip_normalize_stage(
+    host: HostSpec = TPU_V3_HOST, image_bytes: float = 224 * 224 * 3
+) -> PipelineStage:
+    """The three ops the paper keeps on the host: crop, flip, normalize."""
+    per_example = 3.0 * image_bytes / host.memcpy_rate
+
+    def cost(rng: np.random.Generator) -> float:
+        return per_example
+
+    return PipelineStage("crop_flip_normalize", cost)

@@ -1,0 +1,80 @@
+"""Models: trainable numpy networks and MLPerf v0.7 cost specifications.
+
+Two kinds of model live here:
+
+* **Trainable models** (:mod:`repro.models.layers`, :mod:`repro.models.mlp`)
+  — small numpy networks with hand-written gradients, used to run the
+  paper's parallelization schemes *for real* and check they leave the math
+  unchanged.
+* **Cost specs** (:mod:`repro.models.costspec` and the per-benchmark
+  modules) — FLOPs / parameter / activation accounting for the six MLPerf
+  v0.7 models, consumed by the step-time and end-to-end models that
+  regenerate the paper's tables and figures.
+"""
+
+from repro.models.layers import (
+    dense_forward,
+    dense_backward,
+    relu,
+    relu_backward,
+    softmax_cross_entropy,
+)
+from repro.models.mlp import MLP
+from repro.models.costspec import ModelCostSpec, LayerCost
+from repro.models.bert import bert_large_spec
+from repro.models.resnet import resnet50_spec
+from repro.models.transformer import transformer_big_spec
+from repro.models.ssd import ssd_spec
+from repro.models.maskrcnn import maskrcnn_spec
+from repro.models.dlrm import dlrm_spec
+from repro.models.attention import (
+    AttentionParams,
+    HeadShardedAttention,
+    attention_forward,
+    attention_backward,
+)
+from repro.models.transformer_small import (
+    TinyTransformerClassifier,
+    synthetic_sequences,
+)
+from repro.models.embedding import (
+    EmbeddingTableSpec,
+    EmbeddingPlacement,
+    ShardedEmbedding,
+    plan_embedding_placement,
+    interaction_gather,
+    interaction_masked,
+    expand_weights_for_mask,
+    criteo_tables,
+)
+
+__all__ = [
+    "dense_forward",
+    "dense_backward",
+    "relu",
+    "relu_backward",
+    "softmax_cross_entropy",
+    "MLP",
+    "ModelCostSpec",
+    "LayerCost",
+    "bert_large_spec",
+    "resnet50_spec",
+    "transformer_big_spec",
+    "ssd_spec",
+    "maskrcnn_spec",
+    "dlrm_spec",
+    "AttentionParams",
+    "HeadShardedAttention",
+    "attention_forward",
+    "attention_backward",
+    "TinyTransformerClassifier",
+    "synthetic_sequences",
+    "EmbeddingTableSpec",
+    "EmbeddingPlacement",
+    "ShardedEmbedding",
+    "plan_embedding_placement",
+    "interaction_gather",
+    "interaction_masked",
+    "expand_weights_for_mask",
+    "criteo_tables",
+]

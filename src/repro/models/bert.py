@@ -1,0 +1,51 @@
+"""BERT-large pre-training on Wikipedia — new in MLPerf v0.7.
+
+Section 4.1: pure data parallelism at 4096 chips thanks to LAMB; bfloat16
+activations and gradient summation; Vizier-tuned hyperparameters; shuffle
+quality (file-level shuffle-before-repeat, large sequence buffers) guards
+convergence at scale.  The weight update was ~18% of step time on 512
+chips before weight-update sharding (Section 3.2).
+"""
+
+from __future__ import annotations
+
+from repro.models.costspec import LayerCost, ModelCostSpec
+
+#: MLPerf BERT pre-training set: ~156M sequences worth of Wikipedia text is
+#: packed into 500 files; the benchmark region trains on a fixed slice.  We
+#: express the dataset in 512-token sequences.
+BERT_TRAIN_SEQUENCES = 156_725_653 // 512  # ~306k packed sequences per epoch
+BERT_EVAL_EXAMPLES = 10_000
+MAX_SEQ_LEN = 512
+
+
+def bert_large_spec() -> ModelCostSpec:
+    """Cost spec for BERT-large (24 layers, hidden 1024, ~334M params)."""
+    hidden = 1024
+    seq = MAX_SEQ_LEN
+    params = 334e6
+    # Dense-transformer training FLOPs: ~6 FLOPs per param per token.
+    flops = 6.0 * params * seq
+    layers = (
+        LayerCost("embeddings", 0.02),
+        LayerCost("encoder_24x", 0.93),
+        LayerCost("mlm_head", 0.05),
+    )
+    return ModelCostSpec(
+        name="bert",
+        params=params,
+        flops_per_example=flops,
+        dataset_examples=BERT_TRAIN_SEQUENCES,
+        eval_examples=BERT_EVAL_EXAMPLES,
+        quality_target="MLM accuracy 0.712",
+        reference_global_batch=8192,
+        optimizer="lamb",
+        optimizer_flops_per_param=18.0,
+        optimizer_bytes_per_param=40.0,  # LAMB: p, g, m, v traffic
+        weight_dtype_bytes=4,
+        grad_wire_dtype_bytes=2,  # bfloat16 gradient summation (Section 3.3)
+        layers=layers,
+        max_model_parallel_cores=1,
+        supports_large_batch_scaling=True,
+        host_input_bytes_per_example=seq * 8,  # token + mask int32 pairs
+    )

@@ -1,0 +1,62 @@
+"""DLRM on Criteo Terabyte — the MLPerf recommendation benchmark.
+
+Section 4.6: batch 65536 (largest converging), yet scalability caps out at
+a fraction of a pod (256 TPU-v3 chips) because the step latency is tiny and
+communication dominates.  Key systems work: partitioning the large
+embedding tables (they don't fit one chip's HBM), masking instead of
+gathering the self-interaction features, multi-step on-device eval, and a
+custom sort-based AUC metric (reproduced in :mod:`repro.metrics.auc`).
+"""
+
+from __future__ import annotations
+
+from repro.models.costspec import LayerCost, ModelCostSpec
+
+#: Criteo Terabyte click logs: ~4.2B train examples, 89.1M eval examples.
+CRITEO_TRAIN = 4_195_197_692
+CRITEO_EVAL = 89_137_319
+
+#: 26 categorical features; total embedding rows across tables (~188M rows
+#: of width 128 -> ~96 GB in fp32, forcing table partitioning).
+EMBEDDING_ROWS = 188e6
+EMBEDDING_DIM = 128
+NUM_CATEGORICAL = 26
+NUM_DENSE = 13
+
+
+def dlrm_spec() -> ModelCostSpec:
+    """Cost spec for MLPerf DLRM."""
+    # Bottom MLP 13-512-256-128, top MLP 479-1024-1024-512-256-1 (reference).
+    mlp_params = (
+        13 * 512 + 512 * 256 + 256 * 128
+        + 479 * 1024 + 1024 * 1024 + 1024 * 512 + 512 * 256 + 256
+    )
+    embedding_params = EMBEDDING_ROWS * EMBEDDING_DIM
+    dense_flops = 6.0 * mlp_params  # fwd+bwd per example
+    layers = (
+        LayerCost("embedding_lookup", 0.10),
+        LayerCost("bottom_mlp", 0.25),
+        LayerCost("interaction", 0.05),
+        LayerCost("top_mlp", 0.60),
+    )
+    return ModelCostSpec(
+        name="dlrm",
+        # Dense (all-reduced) parameters only; embedding tables are
+        # partitioned, their gradients never cross the full mesh.
+        params=float(mlp_params),
+        flops_per_example=dense_flops,
+        dataset_examples=CRITEO_TRAIN,
+        eval_examples=CRITEO_EVAL,
+        quality_target="AUC 0.8025",
+        reference_global_batch=65536,
+        optimizer="sgd",
+        optimizer_flops_per_param=5.0,
+        weight_dtype_bytes=4,
+        grad_wire_dtype_bytes=4,
+        layers=layers,
+        # Each example touches 26 embedding rows fwd + bwd in fp32.
+        embedding_hbm_bytes_per_example=2 * NUM_CATEGORICAL * EMBEDDING_DIM * 4,
+        max_model_parallel_cores=1,
+        supports_large_batch_scaling=False,
+        host_input_bytes_per_example=(NUM_DENSE + NUM_CATEGORICAL + 1) * 4,
+    )

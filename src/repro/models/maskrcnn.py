@@ -1,0 +1,47 @@
+"""Mask-RCNN on COCO — the heavy-weight detection/segmentation benchmark.
+
+Section 4.5: the quality-preserving batch is only 256, so data parallelism
+stops at 128 cores and spatial model parallelism carries scaling to 1024
+cores (512 chips).  The XLA SPMD work it motivated: gather -> one-hot
+matmul for ROIAlign, resharding between convolution and einsum layouts,
+partitioning support for topk/gather/special convolutions, and
+communication optimizations that cut comm overhead from ~30% to ~10%.
+"""
+
+from __future__ import annotations
+
+from repro.models.costspec import LayerCost, ModelCostSpec
+from repro.models.ssd import COCO_TRAIN, COCO_EVAL
+
+
+def maskrcnn_spec() -> ModelCostSpec:
+    """Cost spec for MaskRCNN (ResNet-50 + FPN, ~46M params, 800x1333)."""
+    layers = (
+        LayerCost("backbone_400x667", 0.28, height=400, width=667, channels=64,
+                  spatially_partitionable=True, halo_rows=3),
+        LayerCost("backbone_200x334", 0.22, height=200, width=334, channels=256,
+                  spatially_partitionable=True, halo_rows=1),
+        LayerCost("backbone_100x167", 0.18, height=100, width=167, channels=512,
+                  spatially_partitionable=True, halo_rows=1),
+        LayerCost("fpn_50x84", 0.10, height=50, width=84, channels=1024,
+                  spatially_partitionable=True, halo_rows=1),
+        LayerCost("rpn_and_roialign", 0.12, spatially_partitionable=True),
+        LayerCost("detection_heads", 0.10),
+    )
+    return ModelCostSpec(
+        name="maskrcnn",
+        params=46e6,
+        flops_per_example=3 * 270e9,
+        dataset_examples=COCO_TRAIN,
+        eval_examples=COCO_EVAL,
+        quality_target="box mAP 37.7 / mask mAP 33.9",
+        reference_global_batch=256,
+        optimizer="sgd",
+        optimizer_flops_per_param=5.0,
+        weight_dtype_bytes=4,
+        grad_wire_dtype_bytes=4,
+        layers=layers,
+        max_model_parallel_cores=8,
+        supports_large_batch_scaling=False,
+        host_input_bytes_per_example=800 * 1333 * 3,
+    )

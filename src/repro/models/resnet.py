@@ -1,0 +1,55 @@
+"""ResNet-50 v1.5 on ImageNet — the MLPerf image-classification benchmark.
+
+Section 4.2: trained with pure data parallelism at batch 65536 on the full
+4096-chip multipod, enabled by the LARS optimizer, distributed batch norm,
+weight-update sharding and the 2-D gradient summation.  Convergence: 44
+epochs at batch 4K growing to 88 epochs at batch 64K (Section 5), target
+75.9% top-1.
+"""
+
+from __future__ import annotations
+
+from repro.models.costspec import LayerCost, ModelCostSpec
+
+#: ImageNet-1K training/eval sizes.
+IMAGENET_TRAIN = 1_281_167
+IMAGENET_EVAL = 50_000
+
+
+def resnet50_spec() -> ModelCostSpec:
+    """Cost spec for ResNet-50 v1.5 (25.6M params, ~4.1 GFLOPs forward)."""
+    # Stage geometry of ResNet-50 on 224x224 inputs; fractions of total
+    # training FLOPs (forward ~1/3, backward ~2/3, roughly uniform across
+    # stages by their forward share).
+    layers = (
+        LayerCost("stem_conv7x7", 0.05, height=112, width=112, channels=64,
+                  spatially_partitionable=True, halo_rows=3),
+        LayerCost("stage1_56x56", 0.22, height=56, width=56, channels=256,
+                  spatially_partitionable=True, halo_rows=1),
+        LayerCost("stage2_28x28", 0.25, height=28, width=28, channels=512,
+                  spatially_partitionable=True, halo_rows=1),
+        LayerCost("stage3_14x14", 0.28, height=14, width=14, channels=1024,
+                  spatially_partitionable=True, halo_rows=1),
+        LayerCost("stage4_7x7", 0.15, height=7, width=7, channels=2048,
+                  spatially_partitionable=True, halo_rows=1),
+        LayerCost("fc_and_bn", 0.05),
+    )
+    return ModelCostSpec(
+        name="resnet50",
+        params=25.6e6,
+        flops_per_example=3 * 4.1e9,  # fwd + ~2x bwd
+        dataset_examples=IMAGENET_TRAIN,
+        eval_examples=IMAGENET_EVAL,
+        quality_target="75.9% top-1",
+        reference_global_batch=65536,
+        optimizer="lars",
+        optimizer_flops_per_param=8.0,
+        optimizer_bytes_per_param=24.0,  # LARS: p, g, momentum reads + writes
+        weight_dtype_bytes=4,
+        grad_wire_dtype_bytes=4,  # LARS norms want fp32 gradient summation
+        layers=layers,
+        max_model_parallel_cores=1,
+        supports_large_batch_scaling=True,
+        # 224*224*3 uint8 after host-side crop/flip/normalize staging.
+        host_input_bytes_per_example=224 * 224 * 3,
+    )

@@ -1,0 +1,57 @@
+"""Transformer (big) on WMT'14 En-De — the MLPerf translation benchmark.
+
+Section 4.3: the global batch is capped at 2048 by the epoch budget
+(Shallue et al. 2018), so scaling past 2048 chips requires *model
+parallelism*: shared embedding, attention projection and feed-forward
+layers are dense-sharded along vocab / num_heads / hidden dimensions over
+up to 4 X-adjacent cores, with forward/backward all-reduces on the short
+X rings and gradient summation on the peer-hopping rings (Figure 4);
+2-D cross-replica all-reduce runs in bfloat16.
+"""
+
+from __future__ import annotations
+
+from repro.models.costspec import LayerCost, ModelCostSpec
+
+#: WMT14 En-De sentence pairs and average tokens per sentence (MLPerf uses
+#: ~4.5M pairs; sequences are bucketed, ~27 tokens mean).
+WMT_TRAIN_PAIRS = 4_500_000
+WMT_EVAL_PAIRS = 3_003
+AVG_TOKENS = 27
+
+
+def transformer_big_spec() -> ModelCostSpec:
+    """Cost spec for Transformer-big (~210M params)."""
+    params = 210e6
+    tokens = AVG_TOKENS
+    flops = 6.0 * params * tokens
+    hidden = 1024
+    ffn = 4096
+    # Activation all-reduced once per sharded layer pair, forward + backward:
+    # roughly 2 passes x num_layers x seq x hidden x 2 bytes.
+    act_ar_bytes = 2 * 12 * tokens * hidden * 2.0
+    layers = (
+        LayerCost("embedding_vocab_sharded", 0.08),
+        LayerCost("attention_heads_sharded", 0.35),
+        LayerCost("ffn_hidden_sharded", 0.52),
+        LayerCost("softmax_unsharded", 0.05),
+    )
+    return ModelCostSpec(
+        name="transformer",
+        params=params,
+        flops_per_example=flops,
+        dataset_examples=WMT_TRAIN_PAIRS,
+        eval_examples=WMT_EVAL_PAIRS,
+        quality_target="BLEU 25.0",
+        reference_global_batch=2048,
+        optimizer="adam",
+        optimizer_flops_per_param=12.0,
+        optimizer_bytes_per_param=36.0,  # Adam: p, g, m, v traffic
+        weight_dtype_bytes=4,
+        grad_wire_dtype_bytes=2,  # bf16 all-reduce (Section 4.3)
+        layers=layers,
+        activation_allreduce_bytes_per_example=act_ar_bytes,
+        max_model_parallel_cores=4,
+        supports_large_batch_scaling=False,
+        host_input_bytes_per_example=tokens * 8,
+    )

@@ -1,0 +1,74 @@
+"""bfloat16 emulation on top of numpy float32.
+
+Sections 3.3 and 4.1 of the paper transfer gradients in bfloat16 (brain
+float: 1 sign, 8 exponent, 7 mantissa bits) to halve all-reduce payloads.
+numpy has no native bfloat16, so we emulate it as the subset of float32
+values whose low 16 mantissa bits are zero, with IEEE round-to-nearest-even
+conversion — bit-identical to the hardware behaviour for normal numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Machine epsilon of bfloat16 (2**-7): relative error bound of one rounding.
+BF16_EPS = 2.0 ** -7
+
+
+def bf16_dtype_bytes() -> int:
+    """Wire size of one bfloat16 element."""
+    return 2
+
+
+def round_to_bfloat16(x: np.ndarray | float) -> np.ndarray:
+    """Round float values to the nearest bfloat16 (ties to even).
+
+    Returns a float32 array whose values are exactly representable in
+    bfloat16.  NaN is preserved; overflow saturates to +/-inf exactly as a
+    hardware cast would.
+    """
+    arr = np.atleast_1d(np.asarray(x, dtype=np.float32))
+    bits = arr.view(np.uint32).copy()
+    nan_mask = np.isnan(arr)
+    # Round-to-nearest-even on the upper 16 bits.
+    lsb = (bits >> np.uint32(16)) & np.uint32(1)
+    bias = np.uint32(0x7FFF) + lsb
+    with np.errstate(over="ignore"):
+        bits = (bits + bias) & np.uint32(0xFFFF0000)
+    out = bits.view(np.float32).copy()
+    # Rounding a NaN must stay NaN (the bias trick can corrupt the payload).
+    out[nan_mask] = np.nan
+    return out.reshape(np.shape(x))
+
+
+def is_bfloat16_representable(x: np.ndarray | float) -> np.ndarray | bool:
+    """Whether each value is exactly representable in bfloat16."""
+    arr = np.asarray(x, dtype=np.float32)
+    bits = arr.view(np.uint32)
+    rep = (bits & np.uint32(0xFFFF)) == 0
+    rep = rep | np.isnan(arr)
+    return rep if np.ndim(x) else bool(rep)
+
+
+def bf16_add(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Add two bf16 operands with a bf16 result (the TPU reduction step).
+
+    Operands are first quantized (a no-op if already representable); the
+    sum is computed in float32 and rounded back, matching the accumulate-
+    and-truncate behaviour of in-network bf16 reductions.
+    """
+    return round_to_bfloat16(round_to_bfloat16(a) + round_to_bfloat16(b))
+
+
+def bf16_sum(arrays: list[np.ndarray]) -> np.ndarray:
+    """Left-to-right bf16 accumulation of several arrays.
+
+    This mirrors what a ring reduce-scatter does to each chunk: the partial
+    sum is rounded to bfloat16 at every hop.
+    """
+    if not arrays:
+        raise ValueError("need at least one array")
+    acc = round_to_bfloat16(arrays[0])
+    for a in arrays[1:]:
+        acc = bf16_add(acc, a)
+    return acc

@@ -1,0 +1,86 @@
+"""Learning-rate schedules for large-batch training."""
+
+from __future__ import annotations
+
+import abc
+
+
+class LRSchedule(abc.ABC):
+    """A learning rate as a function of the (0-based) step index."""
+
+    @abc.abstractmethod
+    def __call__(self, step: int) -> float:
+        ...
+
+
+class ConstantSchedule(LRSchedule):
+    """A fixed learning rate."""
+
+    def __init__(self, value: float) -> None:
+        if value < 0:
+            raise ValueError("learning rate must be non-negative")
+        self.value = value
+
+    def __call__(self, step: int) -> float:
+        return self.value
+
+
+class LinearWarmupPolyDecay(LRSchedule):
+    """Linear warmup to ``peak`` then polynomial decay to ``end``.
+
+    This is the shape used by both the MLPerf BERT (LAMB) and ResNet-50
+    (LARS) references; warmup length grows with batch size when the batch
+    is scaled up, which the convergence model in :mod:`repro.core` mirrors.
+    """
+
+    def __init__(
+        self,
+        peak: float,
+        warmup_steps: int,
+        total_steps: int,
+        power: float = 2.0,
+        end: float = 0.0,
+    ) -> None:
+        if peak < 0 or end < 0:
+            raise ValueError("rates must be non-negative")
+        if warmup_steps < 0 or total_steps <= 0:
+            raise ValueError("step counts must be positive")
+        if warmup_steps >= total_steps:
+            raise ValueError("warmup must end before total_steps")
+        self.peak = peak
+        self.warmup_steps = warmup_steps
+        self.total_steps = total_steps
+        self.power = power
+        self.end = end
+
+    def __call__(self, step: int) -> float:
+        if self.warmup_steps > 0 and step < self.warmup_steps:
+            return self.peak * (step + 1) / self.warmup_steps
+        remaining = max(0, self.total_steps - step)
+        frac = remaining / max(1, self.total_steps - self.warmup_steps)
+        return self.end + (self.peak - self.end) * frac**self.power
+
+
+class PiecewiseConstant(LRSchedule):
+    """Step-decay schedule: boundaries and the value to use before each."""
+
+    def __init__(self, boundaries: list[int], values: list[float]) -> None:
+        if len(values) != len(boundaries) + 1:
+            raise ValueError("need exactly len(boundaries) + 1 values")
+        if sorted(boundaries) != list(boundaries):
+            raise ValueError("boundaries must be sorted")
+        self.boundaries = list(boundaries)
+        self.values = list(values)
+
+    def __call__(self, step: int) -> float:
+        for boundary, value in zip(self.boundaries, self.values):
+            if step < boundary:
+                return value
+        return self.values[-1]
+
+
+def as_schedule(lr: "float | LRSchedule") -> LRSchedule:
+    """Coerce a bare float into a constant schedule."""
+    if isinstance(lr, LRSchedule):
+        return lr
+    return ConstantSchedule(float(lr))

@@ -1,0 +1,32 @@
+"""Functional execution of collectives and parallel training on numpy.
+
+Everything in this subpackage *actually runs* the paper's distributed
+algorithms at laptop scale: each "device" is a numpy buffer, and the
+collective routines move chunks between devices step by step exactly as the
+ring schedules do on hardware.  Tests compare the results against plain
+``np.sum`` ground truth, which is the correctness backbone for the
+data-parallel / model-parallel / weight-update-sharding trainers in
+:mod:`repro.core`.
+"""
+
+from repro.runtime.collectives import (
+    ShardedValue,
+    ring_reduce_scatter,
+    ring_all_gather,
+    ring_all_reduce,
+    two_phase_all_reduce,
+    reduce_scatter_grid,
+    all_gather_grid,
+)
+from repro.runtime.mesh import VirtualMesh
+
+__all__ = [
+    "ShardedValue",
+    "ring_reduce_scatter",
+    "ring_all_gather",
+    "ring_all_reduce",
+    "two_phase_all_reduce",
+    "reduce_scatter_grid",
+    "all_gather_grid",
+    "VirtualMesh",
+]

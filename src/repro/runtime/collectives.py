@@ -1,0 +1,271 @@
+"""Numpy-executed ring and 2-D hierarchical collectives.
+
+The algorithms replicate the data motion of the hardware schedules:
+
+* ring reduce-scatter — ``n - 1`` steps; at step ``s`` device ``d`` forwards
+  chunk ``(d - s) mod n`` to device ``(d + 1) mod n``, which accumulates it;
+* ring all-gather — the same motion without reduction;
+* 2-D hierarchical all-reduce — reduce-scatter along Y per mesh column,
+  reduce-scatter along X per row, an optional per-shard transform (the
+  *sharded weight update* of Section 3.2/3.3), then all-gathers along X and
+  Y.
+
+Reductions can run in float64/float32 or emulated bfloat16 (rounding the
+partial sum at every hop, as in-network bf16 summation does).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.numerics.bfloat16 import bf16_add, round_to_bfloat16
+
+#: Supported accumulation policies.
+DTYPE_POLICIES = ("f64", "f32", "bf16")
+
+Reducer = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+def _reducer_for(policy: str) -> Reducer:
+    if policy == "f64":
+        return lambda a, b: (a.astype(np.float64) + b.astype(np.float64))
+    if policy == "f32":
+        return lambda a, b: (a.astype(np.float32) + b.astype(np.float32))
+    if policy == "bf16":
+        return bf16_add
+    raise ValueError(f"unknown dtype policy {policy!r}; choose from {DTYPE_POLICIES}")
+
+
+def _prepare(policy: str, array: np.ndarray) -> np.ndarray:
+    """Quantize an input buffer to the wire format of the policy."""
+    if policy == "bf16":
+        return round_to_bfloat16(array)
+    if policy == "f64":
+        return array.astype(np.float64)
+    return array.astype(np.float32)
+
+
+@dataclass
+class ShardedValue:
+    """Per-device shards of a reduced buffer plus reassembly metadata.
+
+    ``shards[d]`` is the flattened chunk owned by device ``d``; chunk ``d``
+    of the padded flat buffer lives on device ``d``.
+    """
+
+    shards: list[np.ndarray]
+    shape: tuple[int, ...]
+    padded_size: int
+
+    @property
+    def num_devices(self) -> int:
+        return len(self.shards)
+
+    def assemble(self) -> np.ndarray:
+        """Concatenate shards and strip padding back to the original shape."""
+        flat = np.concatenate(self.shards)
+        size = int(np.prod(self.shape)) if self.shape else 1
+        return flat[:size].reshape(self.shape)
+
+
+def _chunked(arrays: Sequence[np.ndarray], n: int) -> tuple[list[list[np.ndarray]], tuple[int, ...], int]:
+    """Flatten each device buffer and split into n equal chunks (padded)."""
+    if not arrays:
+        raise ValueError("need at least one device buffer")
+    shape = np.asarray(arrays[0]).shape
+    for a in arrays:
+        if np.asarray(a).shape != shape:
+            raise ValueError("all device buffers must have the same shape")
+    size = int(np.prod(shape)) if shape else 1
+    padded = ((size + n - 1) // n) * n
+    chunks: list[list[np.ndarray]] = []
+    for a in arrays:
+        flat = np.asarray(a).reshape(-1)
+        if padded != size:
+            flat = np.concatenate([flat, np.zeros(padded - size, dtype=flat.dtype)])
+        chunks.append(np.split(flat, n))
+    return chunks, shape, padded
+
+
+def ring_reduce_scatter(
+    arrays: Sequence[np.ndarray], dtype_policy: str = "f32"
+) -> ShardedValue:
+    """Reduce-scatter over ``n`` device buffers via the ring algorithm.
+
+    Returns a :class:`ShardedValue` where device ``d`` owns the fully
+    reduced chunk ``d``.  The accumulation order is the ring order, so
+    float32/bf16 results carry the rounding pattern of real hardware rings.
+    """
+    n = len(arrays)
+    reducer = _reducer_for(dtype_policy)
+    chunks, shape, padded = _chunked(
+        [_prepare(dtype_policy, np.asarray(a)) for a in arrays], n
+    )
+    if n == 1:
+        return ShardedValue([chunks[0][0]], shape, padded)
+    for step in range(n - 1):
+        updates = {}
+        for d in range(n):
+            c = (d - step) % n
+            dst = (d + 1) % n
+            updates[(dst, c)] = reducer(chunks[dst][c], chunks[d][c])
+        for (dst, c), v in updates.items():
+            chunks[dst][c] = v
+    # After n-1 steps device d holds reduced chunk (d + 1) mod n; relabel so
+    # shard index == device index (a zero-cost renaming on hardware).
+    shards = [chunks[(c - 1) % n][c] for c in range(n)]
+    return ShardedValue(shards, shape, padded)
+
+
+def ring_all_gather(value: ShardedValue) -> list[np.ndarray]:
+    """All-gather shards back to a full buffer on every device.
+
+    Runs the ``n - 1``-step ring motion and returns one full array per
+    device (all identical).
+    """
+    n = value.num_devices
+    if n == 1:
+        return [value.assemble()]
+    # have[d][c] is the chunk c as known by device d (None if not yet seen).
+    have: list[list[np.ndarray | None]] = [
+        [value.shards[c] if c == d else None for c in range(n)] for d in range(n)
+    ]
+    for step in range(n):
+        if step == 0:
+            continue
+        for d in range(n):
+            src = (d - 1) % n
+            c = (src - step + 1) % n
+            chunk = have[src][c]
+            if chunk is None:
+                raise AssertionError("ring all-gather schedule bug")
+            have[d][c] = chunk
+    out = []
+    size = int(np.prod(value.shape)) if value.shape else 1
+    for d in range(n):
+        flat = np.concatenate([have[d][c] for c in range(n)])
+        out.append(flat[:size].reshape(value.shape))
+    return out
+
+
+def ring_all_reduce(
+    arrays: Sequence[np.ndarray], dtype_policy: str = "f32"
+) -> list[np.ndarray]:
+    """Ring all-reduce = reduce-scatter + all-gather."""
+    return ring_all_gather(ring_reduce_scatter(arrays, dtype_policy))
+
+
+# --- 2-D hierarchical collective (Section 3.3) -----------------------------
+
+
+def _grid_shape(grid: Sequence[Sequence[np.ndarray]]) -> tuple[int, int]:
+    x = len(grid)
+    if x == 0:
+        raise ValueError("empty device grid")
+    y = len(grid[0])
+    for col in grid:
+        if len(col) != y:
+            raise ValueError("ragged device grid")
+    if y == 0:
+        raise ValueError("empty device grid column")
+    return x, y
+
+
+def reduce_scatter_grid(
+    grid: Sequence[Sequence[np.ndarray]], dtype_policy: str = "f32"
+) -> list[list[ShardedValue]]:
+    """Phase 1+2 of the 2-D schedule: Y reduce-scatter, then X reduce-scatter.
+
+    ``grid[x][y]`` is the buffer of the chip at mesh coordinate (x, y).
+    Returns per-device :class:`ShardedValue` views whose shards are the
+    per-chip gradient shards fed to the sharded weight update: device (x, y)
+    owns X-chunk ``x`` of Y-chunk ``y``.
+    """
+    x_size, y_size = _grid_shape(grid)
+    # Y phase: one ring per column.
+    y_sharded = [
+        ring_reduce_scatter([grid[x][y] for y in range(y_size)], dtype_policy)
+        for x in range(x_size)
+    ]
+    # X phase: for each y shard index, a ring across columns.
+    out: list[list[ShardedValue]] = [[None] * y_size for _ in range(x_size)]  # type: ignore[list-item]
+    for y in range(y_size):
+        x_inputs = [y_sharded[x].shards[y] for x in range(x_size)]
+        sub = ring_reduce_scatter(x_inputs, dtype_policy)
+        for x in range(x_size):
+            out[x][y] = ShardedValue(
+                shards=[sub.shards[x]],
+                shape=sub.shards[x].shape,
+                padded_size=sub.shards[x].size,
+            )
+    return out
+
+
+def all_gather_grid(
+    shards: Sequence[Sequence[np.ndarray]],
+    shape: tuple[int, ...],
+    dtype_policy: str = "f32",
+) -> list[list[np.ndarray]]:
+    """Phase 4: all-gather along X then along Y, restoring full buffers.
+
+    ``shards[x][y]`` is device (x, y)'s final shard (X-chunk ``x`` of
+    Y-chunk ``y`` of the padded flat buffer); ``shape`` is the original
+    (unpadded) buffer shape.
+    """
+    x_size = len(shards)
+    y_size = len(shards[0])
+    size = int(np.prod(shape)) if shape else 1
+    padded_y = ((size + y_size - 1) // y_size) * y_size
+    y_chunk = padded_y // y_size
+    padded_x = ((y_chunk + x_size - 1) // x_size) * x_size
+    # X all-gather per row-shard index.
+    y_chunks: list[list[np.ndarray]] = [[None] * y_size for _ in range(x_size)]  # type: ignore[list-item]
+    for y in range(y_size):
+        sv = ShardedValue(
+            shards=[np.asarray(shards[x][y]).reshape(-1) for x in range(x_size)],
+            shape=(y_chunk,),
+            padded_size=padded_x,
+        )
+        gathered = ring_all_gather(sv)
+        for x in range(x_size):
+            y_chunks[x][y] = gathered[x]
+    # Y all-gather per column.
+    out: list[list[np.ndarray]] = [[None] * y_size for _ in range(x_size)]  # type: ignore[list-item]
+    for x in range(x_size):
+        sv = ShardedValue(shards=y_chunks[x], shape=shape, padded_size=padded_y)
+        gathered = ring_all_gather(sv)
+        for y in range(y_size):
+            out[x][y] = gathered[y]
+    return out
+
+
+def two_phase_all_reduce(
+    grid: Sequence[Sequence[np.ndarray]],
+    dtype_policy: str = "f32",
+    shard_transform: Callable[[np.ndarray], np.ndarray] | None = None,
+) -> list[list[np.ndarray]]:
+    """The full 2-D hierarchical all-reduce, optionally fusing a shard op.
+
+    ``shard_transform`` is applied to each device's reduced gradient shard
+    *between* the reduce-scatter and all-gather phases — this is exactly
+    where the paper's weight-update sharding computes the optimizer step, so
+    passing the update function here reproduces the fused schedule of
+    Section 3.3 (the transform must be elementwise/shape-preserving).
+    """
+    x_size, y_size = _grid_shape(grid)
+    shape = np.asarray(grid[0][0]).shape
+    reduced = reduce_scatter_grid(grid, dtype_policy)
+    final_shards: list[list[np.ndarray]] = [[None] * y_size for _ in range(x_size)]  # type: ignore[list-item]
+    for x in range(x_size):
+        for y in range(y_size):
+            shard = reduced[x][y].shards[0]
+            if shard_transform is not None:
+                transformed = np.asarray(shard_transform(shard))
+                if transformed.shape != shard.shape:
+                    raise ValueError("shard_transform must preserve shape")
+                shard = transformed
+            final_shards[x][y] = shard
+    return all_gather_grid(final_shards, shape, dtype_policy)

@@ -1,0 +1,131 @@
+"""A virtual device mesh holding per-device numpy state.
+
+:class:`VirtualMesh` is the functional twin of the hardware topology: a
+logical ``x_size x y_size`` grid of devices, each with named buffers, plus
+convenience methods that run the runtime collectives over a named buffer.
+The trainers in :mod:`repro.core` use it as their execution substrate.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.runtime.collectives import (
+    ring_all_reduce,
+    two_phase_all_reduce,
+)
+
+
+class VirtualMesh:
+    """A logical 2-D grid of numpy 'devices'.
+
+    Parameters
+    ----------
+    x_size, y_size:
+        Logical mesh extent.  For pure data parallelism a 1-D mesh
+        (``y_size=1``) is fine; the 2-D hierarchical collective needs both
+        dimensions > 1 to exercise both phases.
+    """
+
+    def __init__(self, x_size: int, y_size: int = 1) -> None:
+        if x_size < 1 or y_size < 1:
+            raise ValueError("mesh dims must be >= 1")
+        self.x_size = x_size
+        self.y_size = y_size
+        self._buffers: dict[str, dict[tuple[int, int], np.ndarray]] = {}
+
+    @property
+    def num_devices(self) -> int:
+        return self.x_size * self.y_size
+
+    def devices(self) -> Iterator[tuple[int, int]]:
+        for x in range(self.x_size):
+            for y in range(self.y_size):
+                yield (x, y)
+
+    # --- buffer management ---------------------------------------------------
+
+    def put(self, name: str, device: tuple[int, int], array: np.ndarray) -> None:
+        """Place a buffer on one device."""
+        self._check_device(device)
+        self._buffers.setdefault(name, {})[device] = np.asarray(array)
+
+    def put_replicated(self, name: str, array: np.ndarray) -> None:
+        """Place identical copies of a buffer on every device."""
+        for d in self.devices():
+            self.put(name, d, np.array(array, copy=True))
+
+    def get(self, name: str, device: tuple[int, int]) -> np.ndarray:
+        self._check_device(device)
+        try:
+            return self._buffers[name][device]
+        except KeyError:
+            raise KeyError(f"buffer {name!r} not present on device {device}") from None
+
+    def get_all(self, name: str) -> list[np.ndarray]:
+        """Buffers of every device, in device order."""
+        return [self.get(name, d) for d in self.devices()]
+
+    def grid(self, name: str) -> list[list[np.ndarray]]:
+        """Buffers as a [x][y] grid (for the 2-D collective)."""
+        return [
+            [self.get(name, (x, y)) for y in range(self.y_size)]
+            for x in range(self.x_size)
+        ]
+
+    def has(self, name: str) -> bool:
+        return name in self._buffers
+
+    def apply(self, name: str, fn: Callable[[np.ndarray], np.ndarray]) -> None:
+        """Apply a function to the named buffer on every device."""
+        for d in self.devices():
+            self.put(name, d, fn(self.get(name, d)))
+
+    def _check_device(self, device: tuple[int, int]) -> None:
+        x, y = device
+        if not (0 <= x < self.x_size and 0 <= y < self.y_size):
+            raise ValueError(
+                f"device {device} outside mesh {self.x_size}x{self.y_size}"
+            )
+
+    # --- collectives ----------------------------------------------------------
+
+    def all_reduce(
+        self,
+        name: str,
+        dtype_policy: str = "f32",
+        hierarchical: bool | None = None,
+        shard_transform: Callable[[np.ndarray], np.ndarray] | None = None,
+    ) -> None:
+        """All-reduce a named buffer in place across every device.
+
+        ``hierarchical`` selects the 2-D schedule (default when both mesh
+        dims exceed 1).  ``shard_transform`` is the fused sharded-update hook
+        of :func:`repro.runtime.collectives.two_phase_all_reduce` and is only
+        valid with the hierarchical schedule.
+        """
+        if hierarchical is None:
+            hierarchical = self.x_size > 1 and self.y_size > 1
+        if hierarchical:
+            result = two_phase_all_reduce(
+                self.grid(name), dtype_policy, shard_transform=shard_transform
+            )
+            for x in range(self.x_size):
+                for y in range(self.y_size):
+                    self.put(name, (x, y), result[x][y])
+        else:
+            if shard_transform is not None:
+                raise ValueError(
+                    "shard_transform requires the hierarchical schedule"
+                )
+            result_flat = ring_all_reduce(self.get_all(name), dtype_policy)
+            for arr, d in zip(result_flat, self.devices()):
+                self.put(name, d, arr)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"VirtualMesh({self.x_size}x{self.y_size}, "
+            f"buffers={sorted(self._buffers)})"
+        )

@@ -1,0 +1,89 @@
+"""Execution traces for simulations: per-actor timelines and summaries."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timed span on some actor's timeline."""
+
+    actor: str
+    name: str
+    start: float
+    duration: float
+    category: str = ""
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+@dataclass
+class Trace:
+    """A collection of trace events with summary utilities."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+
+    def record(
+        self,
+        actor: str,
+        name: str,
+        start: float,
+        duration: float,
+        category: str = "",
+    ) -> None:
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        self.events.append(TraceEvent(actor, name, start, duration, category))
+
+    def busy_time(self, actor: str) -> float:
+        """Total busy seconds recorded on one actor (spans may not overlap)."""
+        return sum(e.duration for e in self.events if e.actor == actor)
+
+    def span(self) -> tuple[float, float]:
+        """(earliest start, latest end) over all events."""
+        if not self.events:
+            return (0.0, 0.0)
+        return (
+            min(e.start for e in self.events),
+            max(e.end for e in self.events),
+        )
+
+    def utilization(self, actor: str) -> float:
+        """Busy fraction of the actor over the whole trace span."""
+        start, end = self.span()
+        total = end - start
+        if total <= 0:
+            return 0.0
+        return self.busy_time(actor) / total
+
+    def by_category(self) -> dict[str, float]:
+        """Total time per category, summed over actors."""
+        out: dict[str, float] = defaultdict(float)
+        for e in self.events:
+            out[e.category] += e.duration
+        return dict(out)
+
+    def actors(self) -> list[str]:
+        return sorted({e.actor for e in self.events})
+
+    def to_chrome_trace(self) -> list[dict]:
+        """Events in Chrome ``chrome://tracing`` JSON format (microseconds)."""
+        out = []
+        for i, e in enumerate(sorted(self.events, key=lambda e: e.start)):
+            out.append(
+                {
+                    "name": e.name,
+                    "cat": e.category or "default",
+                    "ph": "X",
+                    "ts": e.start * 1e6,
+                    "dur": e.duration * 1e6,
+                    "pid": 0,
+                    "tid": e.actor,
+                    "args": {},
+                }
+            )
+        return out

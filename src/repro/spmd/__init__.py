@@ -1,0 +1,81 @@
+"""An SPMD partitioner in the style of XLA's (Lepikhin et al. 2020).
+
+Section 3.1 of the paper parallelizes models by annotating tensors with
+sharding and letting the compiler partition the graph, inserting halo
+exchanges (spatial partitioning), all-reduces (contracting-dimension
+sharding), and reshards.  This subpackage reproduces that machinery on a
+small tensor IR:
+
+* :mod:`repro.spmd.ir` — a minimal static-shape tensor graph (conv2d,
+  matmul, gather, topk, elementwise, ...) with FLOP/byte accounting;
+* :mod:`repro.spmd.annotations` — sharding specs (replicated / split along
+  a dim / partial-pending-reduction);
+* :mod:`repro.spmd.partitioner` — annotation propagation and communication
+  insertion, with feature flags reproducing the paper's v0.6 -> v0.7 XLA
+  improvements (gather/topk partitioning, gather -> one-hot matmul,
+  reshard minimization, Section 4.5);
+* :mod:`repro.spmd.estimator` — per-device compute/communication cost of a
+  partitioned graph on a mesh, driving the Figure 9 model-parallelism
+  speedup curves;
+* :mod:`repro.spmd.modelgraphs` — IR graphs for SSD, MaskRCNN, and the
+  Transformer model-parallel blocks.
+"""
+
+from repro.spmd.ir import Graph, Node, ShapeError
+from repro.spmd.annotations import Sharding, replicated, split, partial
+from repro.spmd.partitioner import (
+    PartitionerFeatures,
+    PartitionedGraph,
+    CommOp,
+    partition,
+    V06_FEATURES,
+    V07_FEATURES,
+)
+from repro.spmd.estimator import PartitionCost, estimate_cost, model_parallel_speedup
+from repro.spmd.modelgraphs import ssd_graph, maskrcnn_graph, transformer_block_graph
+from repro.spmd.gather_exec import (
+    gather_as_onehot_matmul,
+    sharded_onehot_gather,
+    topk_direct,
+    distributed_topk,
+)
+from repro.spmd.spatial_exec import (
+    conv2d_direct,
+    shard_height,
+    unshard_height,
+    halo_exchange,
+    spatial_conv2d,
+    spatial_conv_stack,
+)
+
+__all__ = [
+    "Graph",
+    "Node",
+    "ShapeError",
+    "Sharding",
+    "replicated",
+    "split",
+    "partial",
+    "PartitionerFeatures",
+    "PartitionedGraph",
+    "CommOp",
+    "partition",
+    "V06_FEATURES",
+    "V07_FEATURES",
+    "PartitionCost",
+    "estimate_cost",
+    "model_parallel_speedup",
+    "ssd_graph",
+    "maskrcnn_graph",
+    "transformer_block_graph",
+    "gather_as_onehot_matmul",
+    "sharded_onehot_gather",
+    "topk_direct",
+    "distributed_topk",
+    "conv2d_direct",
+    "shard_height",
+    "unshard_height",
+    "halo_exchange",
+    "spatial_conv2d",
+    "spatial_conv_stack",
+]

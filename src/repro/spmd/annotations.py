@@ -1,0 +1,56 @@
+"""Sharding annotations: how a tensor is laid out over the model tile."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Sharding:
+    """Layout of one tensor across ``num_shards`` model-parallel cores.
+
+    ``dim is None`` means fully replicated.  ``partial=True`` means every
+    core holds a partial *sum* of the full value (a matmul whose contracting
+    dimension was sharded) — usable only after an all-reduce.
+    """
+
+    num_shards: int
+    dim: int | None = None
+    partial: bool = False
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        if self.partial and self.dim is not None:
+            raise ValueError("a partial value is not also dim-sharded")
+
+    @property
+    def replicated(self) -> bool:
+        return self.dim is None and not self.partial
+
+    def tile_fraction(self) -> float:
+        """Per-core share of the tensor's elements."""
+        if self.dim is None:
+            return 1.0
+        return 1.0 / self.num_shards
+
+    def describe(self) -> str:
+        if self.partial:
+            return f"partial(+{self.num_shards})"
+        if self.dim is None:
+            return "replicated"
+        return f"split(dim={self.dim}, {self.num_shards})"
+
+
+def replicated(num_shards: int) -> Sharding:
+    return Sharding(num_shards=num_shards)
+
+
+def split(num_shards: int, dim: int) -> Sharding:
+    if dim < 0:
+        raise ValueError("dim must be non-negative")
+    return Sharding(num_shards=num_shards, dim=dim)
+
+
+def partial(num_shards: int) -> Sharding:
+    return Sharding(num_shards=num_shards, partial=True)

@@ -1,0 +1,157 @@
+"""IR graphs for the model-parallel benchmarks (SSD, MaskRCNN, Transformer).
+
+Shapes follow the published architectures at the fidelity the partitioning
+analysis needs: per-stage activation geometry, the gather/topk ops that were
+Amdahl bottlenecks before the paper's XLA work, and the dense layers the
+Transformer shards.  Each builder sets ``graph.handles`` with the node ids
+that seed functions annotate.
+"""
+
+from __future__ import annotations
+
+from repro.spmd.annotations import Sharding, split
+from repro.spmd.ir import Graph
+
+
+def _conv_stage(g: Graph, x: int, cin: int, cout: int, size: int,
+                repeats: int, name: str) -> int:
+    """A stack of 3x3 convolutions at one spatial resolution."""
+    for r in range(repeats):
+        w = g.parameter((3, 3, cin if r == 0 else cout, cout),
+                        name=f"{name}_w{r}")
+        x = g.conv2d(x, w, name=f"{name}_conv{r}")
+        x = g.elementwise(x, "relu", name=f"{name}_relu{r}")
+    return x
+
+
+def ssd_graph(batch: int = 1) -> Graph:
+    """MLPerf SSD: ResNet-34 backbone on 300x300 + detection heads."""
+    g = Graph("ssd")
+    image = g.input((batch, 300, 300, 3), name="image")
+    stem_w = g.parameter((7, 7, 3, 64), name="stem_w")
+    x = g.conv2d(image, stem_w, stride=2, name="stem")  # 150x150x64
+    x = _conv_stage(g, x, 64, 64, 150, 3, "stage1")
+    x = g.conv2d(x, g.parameter((3, 3, 64, 128), name="down1_w"), stride=2,
+                 name="down1")  # 75x75
+    x = _conv_stage(g, x, 128, 128, 75, 4, "stage2")
+    x = g.conv2d(x, g.parameter((3, 3, 128, 256), name="down2_w"), stride=2,
+                 name="down2")  # 38x38 (rounded)
+    x = _conv_stage(g, x, 256, 256, 38, 6, "stage3")
+    feat38 = x
+    x = g.conv2d(x, g.parameter((3, 3, 256, 512), name="down3_w"), stride=2,
+                 name="down3")  # 19x19
+    feat19 = _conv_stage(g, x, 512, 512, 19, 3, "stage4")
+    # Extra feature layers shrink to 10, 5, 3, 1 — small and hard to split.
+    x = g.conv2d(feat19, g.parameter((3, 3, 512, 256), name="extra1_w"),
+                 stride=2, name="extra1")  # 10x10
+    x = g.conv2d(x, g.parameter((3, 3, 256, 256), name="extra2_w"),
+                 stride=2, name="extra2")  # 5x5
+    # Detection heads on the two big maps (class + box convs).
+    for i, feat in enumerate((feat38, feat19)):
+        cin = 256 if i == 0 else 512
+        head_w = g.parameter((3, 3, cin, 6 * (81 + 4)), name=f"head{i}_w")
+        g.conv2d(feat, head_w, name=f"head{i}")
+    # Prior selection: top-k over ~8732 anchors, then box gather.
+    scores = g.input((batch, 8732), name="scores")
+    top = g.topk(scores, 200, name="nms_topk")
+    g.gather(top, 200, 4, name="box_gather")
+    g.handles = {"image": image, "scores": scores}
+    return g
+
+
+def maskrcnn_graph(batch: int = 1) -> Graph:
+    """MaskRCNN: ResNet-50+FPN on 800x1344, RPN, ROIAlign, heads."""
+    g = Graph("maskrcnn")
+    image = g.input((batch, 800, 1344, 3), name="image")
+    stem_w = g.parameter((7, 7, 3, 64), name="stem_w")
+    x = g.conv2d(image, stem_w, stride=2, name="stem")  # 400x672
+    x = _conv_stage(g, x, 64, 256, 400, 3, "res2")
+    x = g.conv2d(x, g.parameter((3, 3, 256, 512), name="down2_w"), stride=2,
+                 name="down2")  # 200x336
+    x = _conv_stage(g, x, 512, 512, 200, 4, "res3")
+    x = g.conv2d(x, g.parameter((3, 3, 512, 1024), name="down3_w"), stride=2,
+                 name="down3")  # 100x168
+    x = _conv_stage(g, x, 1024, 1024, 100, 6, "res4")
+    x = g.conv2d(x, g.parameter((3, 3, 1024, 2048), name="down4_w"), stride=2,
+                 name="down4")  # 50x84
+    p5 = _conv_stage(g, x, 2048, 256, 50, 1, "fpn5")
+    # RPN objectness + proposal top-k (an op XLA could not partition pre-v0.7).
+    rpn_w = g.parameter((3, 3, 256, 256), name="rpn_w")
+    rpn = g.conv2d(p5, rpn_w, name="rpn_conv")
+    scores = g.input((batch, 256 * 1024), name="rpn_scores")
+    top = g.topk(scores, 1000, name="proposal_topk")
+    # ROIAlign: non-contiguous gather of 1000 rois x 7x7x256 features,
+    # rewritten as one-hot matmuls in v0.7 (Section 4.5).
+    rois = g.gather(top, 1000, 7 * 7 * 256, name="roialign_gather")
+    # Box head: two big fully connected layers over the rois.
+    fc1_w = g.parameter((7 * 7 * 256, 1024), name="boxhead_fc1")
+    h = g.matmul(rois, fc1_w, name="boxhead_mm1")
+    h = g.elementwise(h, "relu", name="boxhead_relu")
+    fc2_w = g.parameter((1024, 1024), name="boxhead_fc2")
+    h = g.matmul(h, fc2_w, name="boxhead_mm2")
+    # Mask head convs run on the gathered roi features (serial-ish, small).
+    g.reduce(h, name="loss")
+    g.handles = {"image": image, "scores": scores}
+    return g
+
+
+def transformer_block_graph(
+    seq: int = 256, hidden: int = 1024, ffn: int = 4096, vocab: int = 33_000
+) -> Graph:
+    """One Transformer-big layer + shared embedding, dense-sharded (§4.3).
+
+    Sharded dimensions follow the paper: vocab (embedding), num_heads
+    (attention projections, via the hidden projection columns) and the ffn
+    hidden dimension.
+    """
+    g = Graph("transformer_block")
+    tokens = g.input((seq, vocab), name="onehot_tokens")
+    embed_w = g.parameter((vocab, hidden), name="embedding")
+    x = g.matmul(tokens, embed_w, name="embed_mm")
+    # Attention projections: QKV fused (columns = heads dim) + output proj.
+    qkv_w = g.parameter((hidden, 3 * hidden), name="qkv_w")
+    qkv = g.matmul(x, qkv_w, name="qkv_mm")
+    qkv = g.elementwise(qkv, "identity", name="attn_core")
+    out_w = g.parameter((3 * hidden, hidden), name="attn_out_w")
+    attn = g.matmul(qkv, out_w, name="attn_out_mm")
+    attn = g.add(attn, x, name="residual1")
+    # Feed-forward pair: column-shard W1, row-shard W2 (partial + allreduce).
+    ffn_w1 = g.parameter((hidden, ffn), name="ffn_w1")
+    h = g.matmul(attn, ffn_w1, name="ffn_mm1")
+    h = g.elementwise(h, "relu", name="ffn_relu")
+    ffn_w2 = g.parameter((ffn, hidden), name="ffn_w2")
+    out = g.matmul(h, ffn_w2, name="ffn_mm2")
+    out = g.add(out, attn, name="residual2")
+    g.reduce(out, name="loss")
+    g.handles = {
+        "embedding": embed_w,
+        "qkv_w": qkv_w,
+        "attn_out_w": out_w,
+        "ffn_w1": ffn_w1,
+        "ffn_w2": ffn_w2,
+    }
+    return g
+
+
+# --- seed functions (the paper's annotations) ------------------------------
+
+
+def spatial_seeds(graph: Graph, k: int) -> dict[int, Sharding]:
+    """Annotate the input image split along H (SSD/MaskRCNN, Section 3.1)."""
+    if k == 1:
+        return {}
+    return {graph.handles["image"]: split(k, 1)}
+
+
+def transformer_seeds(graph: Graph, k: int) -> dict[int, Sharding]:
+    """Dense sharding along vocab / heads / ffn-hidden (Section 4.3)."""
+    if k == 1:
+        return {}
+    h = graph.handles
+    return {
+        h["embedding"]: split(k, 0),   # vocab (contracting) -> partial
+        h["qkv_w"]: split(k, 1),       # heads dimension
+        h["attn_out_w"]: split(k, 0),  # contracting -> partial + allreduce
+        h["ffn_w1"]: split(k, 1),      # ffn hidden
+        h["ffn_w2"]: split(k, 0),      # contracting -> partial + allreduce
+    }

@@ -1,0 +1,264 @@
+"""Annotation-driven SPMD partitioning with communication insertion.
+
+Given seed shardings (the "lightweight annotations" of Section 3.1) the
+partitioner propagates layouts through the graph and records the
+communication each op induces:
+
+* conv2d over a spatially split activation -> **halo exchange**;
+* matmul with a sharded contracting dimension -> **partial** output, and an
+  **all-reduce** at first use;
+* mismatched operand layouts -> **reshard**;
+* ops without partitioning support -> **all-gather** the operand and run
+  the op serially (replicated) — the Amdahl bottleneck the paper's XLA
+  work removed for topk/gather/special convolutions (Section 4.5).
+
+:class:`PartitionerFeatures` toggles reproduce the MLPerf v0.6 vs v0.7
+compiler: ``V06_FEATURES`` lacks gather/topk partitioning and reshard
+minimization; ``V07_FEATURES`` has them all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.spmd.annotations import Sharding, partial, replicated, split
+from repro.spmd.ir import Graph, Node
+
+
+@dataclass(frozen=True)
+class PartitionerFeatures:
+    """Compiler capabilities (paper's v0.6 -> v0.7 delta, Section 4.5)."""
+
+    partition_gather: bool = True
+    partition_topk: bool = True
+    gather_as_onehot_matmul: bool = True
+    minimize_reshards: bool = True
+    optimized_halo_barriers: bool = True
+
+
+V06_FEATURES = PartitionerFeatures(
+    partition_gather=False,
+    partition_topk=False,
+    gather_as_onehot_matmul=False,
+    minimize_reshards=False,
+    optimized_halo_barriers=False,
+)
+V07_FEATURES = PartitionerFeatures()
+
+
+@dataclass(frozen=True)
+class CommOp:
+    """A communication operation inserted by the partitioner.
+
+    ``bytes_per_shard`` is the payload each core moves; ``steps`` the
+    number of synchronization rounds it takes (barrier overhead).
+    """
+
+    kind: str  # 'halo' | 'all_reduce' | 'all_gather' | 'reshard'
+    node_id: int
+    bytes_per_shard: float
+    steps: int = 1
+
+
+@dataclass
+class PartitionedGraph:
+    """The result of partitioning: per-node layouts and induced comm."""
+
+    graph: Graph
+    num_shards: int
+    features: PartitionerFeatures
+    shardings: dict[int, Sharding] = field(default_factory=dict)
+    """Current layout of each value (updated when partials are resolved)."""
+    compute_shardings: dict[int, Sharding] = field(default_factory=dict)
+    """Layout each op *computed under* (what the cost estimator needs)."""
+    comm_ops: list[CommOp] = field(default_factory=list)
+    serial_nodes: set[int] = field(default_factory=set)
+
+    def sharding(self, node_id: int) -> Sharding:
+        return self.shardings[node_id]
+
+    def _set(self, node_id: int, sharding: Sharding) -> None:
+        self.shardings[node_id] = sharding
+        self.compute_shardings[node_id] = sharding
+
+    def comm_bytes(self) -> float:
+        return sum(c.bytes_per_shard for c in self.comm_ops)
+
+    def comm_by_kind(self) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for c in self.comm_ops:
+            out[c.kind] = out.get(c.kind, 0.0) + c.bytes_per_shard
+        return out
+
+
+def _tensor_bytes(node: Node, dtype_bytes: int) -> float:
+    return node.output_bytes(dtype_bytes)
+
+
+def partition(
+    graph: Graph,
+    seeds: dict[int, Sharding],
+    num_shards: int,
+    features: PartitionerFeatures = V07_FEATURES,
+    dtype_bytes: int = 2,
+) -> PartitionedGraph:
+    """Propagate shardings through ``graph`` and insert communication.
+
+    ``seeds`` maps node ids (typically inputs/parameters) to layouts; all
+    other inputs default to replicated.
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    for node_id, sharding in seeds.items():
+        if sharding.num_shards != num_shards:
+            raise ValueError(
+                f"seed for node {node_id} has {sharding.num_shards} shards, "
+                f"partitioner uses {num_shards}"
+            )
+    pg = PartitionedGraph(graph=graph, num_shards=num_shards, features=features)
+    if num_shards == 1:
+        for node in graph.topological():
+            pg._set(node.id, replicated(1))
+        return pg
+
+    def resolve_partial(node_id: int) -> Sharding:
+        """All-reduce a partial value before a consumer that needs it."""
+        s = pg.shardings[node_id]
+        if not s.partial:
+            return s
+        node = graph.node(node_id)
+        pg.comm_ops.append(
+            CommOp("all_reduce", node_id, _tensor_bytes(node, dtype_bytes))
+        )
+        s = replicated(num_shards)
+        pg.shardings[node_id] = s  # layout change only; compute ran as partial
+        return s
+
+    def gathered(node_id: int) -> None:
+        """All-gather a sharded operand so a serial op can see all of it."""
+        s = pg.shardings[node_id]
+        if s.partial:
+            resolve_partial(node_id)
+            return
+        if s.dim is not None:
+            node = graph.node(node_id)
+            pg.comm_ops.append(
+                CommOp("all_gather", node_id, _tensor_bytes(node, dtype_bytes))
+            )
+
+    reshard_steps = 1 if features.minimize_reshards else 2
+
+    for node in graph.topological():
+        if node.op in ("input", "parameter"):
+            pg._set(node.id, seeds.get(node.id, replicated(num_shards)))
+            continue
+
+        if node.op == "conv2d":
+            x_id, w_id = node.inputs
+            xs = resolve_partial(x_id)
+            ws = pg.shardings[w_id]
+            if not ws.replicated:
+                raise NotImplementedError("sharded conv filters not supported")
+            if xs.dim in (1, 2):  # spatial split
+                kh, kw = node.attrs["kernel"]
+                k_dim = kh if xs.dim == 1 else kw
+                halo = (k_dim - 1) // 2
+                if halo > 0:
+                    x_node = graph.node(x_id)
+                    b, h, w, c = x_node.shape
+                    row = (w * c) if xs.dim == 1 else (h * c)
+                    steps = 1 if features.optimized_halo_barriers else 2
+                    pg.comm_ops.append(
+                        CommOp(
+                            "halo",
+                            node.id,
+                            2.0 * halo * row * b * dtype_bytes,
+                            steps=steps,
+                        )
+                    )
+                pg._set(node.id, split(num_shards, xs.dim))
+            elif xs.dim == 0:  # batch split: embarrassingly parallel
+                pg._set(node.id, split(num_shards, 0))
+            elif xs.dim == 3:  # input channels = contracting dim
+                pg._set(node.id, partial(num_shards))
+            else:
+                pg._set(node.id, replicated(num_shards))
+            continue
+
+        if node.op == "matmul":
+            a_id, b_id = node.inputs
+            sa = resolve_partial(a_id)
+            sb = resolve_partial(b_id)
+            if sa.dim == 1 or sb.dim == 0:
+                # Contracting dimension sharded on either side: local slices
+                # multiply, result is a partial sum.
+                pg._set(node.id, partial(num_shards))
+            elif sa.dim == 0:
+                pg._set(node.id, split(num_shards, 0))
+            elif sb.dim == 1:
+                pg._set(node.id, split(num_shards, 1))
+            else:
+                pg._set(node.id, replicated(num_shards))
+            continue
+
+        if node.op in ("elementwise", "add"):
+            in_shardings = [resolve_partial(i) for i in node.inputs]
+            chosen = in_shardings[0]
+            for other_id, other in zip(node.inputs[1:], in_shardings[1:]):
+                if other.dim != chosen.dim and not other.replicated and not chosen.replicated:
+                    # Layout mismatch: reshard the second operand.
+                    other_node = graph.node(other_id)
+                    pg.comm_ops.append(
+                        CommOp(
+                            "reshard",
+                            other_id,
+                            _tensor_bytes(other_node, dtype_bytes) / num_shards,
+                            steps=reshard_steps,
+                        )
+                    )
+                elif chosen.replicated and not other.replicated:
+                    chosen = other
+            pg._set(node.id, chosen)
+            continue
+
+        if node.op == "gather":
+            (x_id,) = node.inputs
+            xs = resolve_partial(x_id)
+            if features.partition_gather or features.gather_as_onehot_matmul:
+                # Partitioned (as one-hot matmuls on the MXU when enabled):
+                # output rows split over cores.
+                pg._set(node.id, split(num_shards, 0))
+            else:
+                gathered(x_id)
+                pg.serial_nodes.add(node.id)
+                pg._set(node.id, replicated(num_shards))
+            continue
+
+        if node.op == "topk":
+            (x_id,) = node.inputs
+            xs = resolve_partial(x_id)
+            if features.partition_topk and xs.dim is not None:
+                # Local top-k then a tiny candidate exchange.
+                k = node.attrs["k"]
+                pg.comm_ops.append(
+                    CommOp("all_gather", node.id, float(k) * dtype_bytes)
+                )
+                pg._set(node.id, replicated(num_shards))
+            else:
+                gathered(x_id)
+                pg.serial_nodes.add(node.id)
+                pg._set(node.id, replicated(num_shards))
+            continue
+
+        if node.op == "reduce":
+            (x_id,) = node.inputs
+            xs = pg.shardings[x_id]
+            if xs.partial or xs.dim is not None:
+                # Partial local reductions + a scalar all-reduce.
+                pg.comm_ops.append(CommOp("all_reduce", node.id, float(dtype_bytes)))
+            pg._set(node.id, replicated(num_shards))
+            continue
+
+        raise NotImplementedError(f"no partitioning rule for op {node.op!r}")
+
+    return pg

@@ -1,0 +1,36 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hardware.topology import TorusMesh, multipod, single_pod, slice_for_chips
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def small_torus() -> TorusMesh:
+    """A 4x4 full torus (both wraps)."""
+    return TorusMesh(4, 4, wrap_x=True, wrap_y=True)
+
+
+@pytest.fixture
+def small_mesh() -> TorusMesh:
+    """A 4x4 open mesh (no wraps)."""
+    return TorusMesh(4, 4)
+
+
+@pytest.fixture
+def the_multipod() -> TorusMesh:
+    """The paper's 4096-chip 128x32 multipod."""
+    return multipod(4)
+
+
+@pytest.fixture
+def pod() -> TorusMesh:
+    return single_pod()

@@ -1,0 +1,120 @@
+"""2-D hierarchical all-reduce schedule tests (Section 3.3)."""
+
+import pytest
+
+from repro.comm.allreduce import (
+    flat_ring_allreduce,
+    gradient_allreduce,
+    model_parallel_allreduce,
+    two_phase_allreduce,
+)
+from repro.hardware.topology import multipod, slice_for_chips
+
+
+class TestTwoPhase:
+    def test_shard_size(self, the_multipod):
+        br = two_phase_allreduce(the_multipod, 128e6)
+        assert br.shard_bytes == pytest.approx(128e6 / 4096)
+
+    def test_x_payload_32x_smaller_than_y(self, the_multipod):
+        """The paper's observation: X carries 1/32 of the Y payload."""
+        br = two_phase_allreduce(the_multipod, 128e6)
+        # With the X line's 2x bandwidth penalty and 4x ring length, the X
+        # phase is still far below Y.
+        assert br.reduce_scatter_x < br.reduce_scatter_y
+
+    def test_symmetric_phases(self, the_multipod):
+        br = two_phase_allreduce(the_multipod, 128e6)
+        assert br.all_gather_y == pytest.approx(br.reduce_scatter_y)
+        assert br.all_gather_x == pytest.approx(br.reduce_scatter_x)
+
+    def test_total_is_sum(self, the_multipod):
+        br = two_phase_allreduce(the_multipod, 1e6)
+        assert br.total == pytest.approx(
+            br.reduce_scatter_y + br.reduce_scatter_x
+            + br.all_gather_x + br.all_gather_y
+        )
+
+    def test_nearly_constant_across_scales(self):
+        """Figures 6/8: all-reduce time ~constant as chips grow."""
+        times = {}
+        for chips in (256, 1024, 4096):
+            mesh = slice_for_chips(chips)
+            times[chips] = two_phase_allreduce(mesh, 102e6).total
+        assert max(times.values()) < 2.0 * min(times.values())
+
+    def test_single_row_mesh(self):
+        mesh = slice_for_chips(16)  # 4x4
+        br = two_phase_allreduce(mesh, 1e6)
+        assert br.total > 0
+
+    def test_model_parallel_payload_sharing(self, pod):
+        """Peer rings share X links: time matches an equivalent DP phase."""
+        dp = two_phase_allreduce(pod, 100e6, mp_size=1)
+        mp = two_phase_allreduce(pod, 100e6 / 4, mp_size=4)
+        # The Y phase moves 1/4 the payload (sharded weights); the ratio of
+        # the bandwidth terms is exactly 4 (the latency term is shared).
+        latency = 31 * pod.chip.link_latency
+        assert (dp.reduce_scatter_y - latency) == pytest.approx(
+            4 * (mp.reduce_scatter_y - latency), rel=0.01
+        )
+
+    def test_invalid_args(self, pod):
+        with pytest.raises(ValueError):
+            two_phase_allreduce(pod, -1)
+        with pytest.raises(ValueError):
+            two_phase_allreduce(pod, 1e6, mp_size=0)
+        with pytest.raises(ValueError):
+            two_phase_allreduce(pod, 1e6, mp_size=5)
+
+
+class TestFlatBaseline:
+    def test_flat_ring_latency_dominates_at_scale(self, the_multipod):
+        """Why the 2-D schedule wins: 4095 latency steps vs ~160."""
+        flat = flat_ring_allreduce(the_multipod, 102e6)
+        hier = two_phase_allreduce(the_multipod, 102e6)
+        assert flat.total > 5 * hier.total
+
+    def test_flat_ring_ok_at_small_scale(self):
+        mesh = slice_for_chips(16)
+        flat = flat_ring_allreduce(mesh, 102e6)
+        hier = two_phase_allreduce(mesh, 102e6)
+        # At 16 chips the flat ring is competitive (within 2x either way).
+        assert 0.5 < flat.total / hier.total < 2.5
+
+
+class TestModelParallelAllreduce:
+    def test_zero_for_single_core(self, pod):
+        assert model_parallel_allreduce(pod, 1, 1e6) == 0.0
+
+    def test_grows_with_payload(self, pod):
+        a = model_parallel_allreduce(pod, 4, 1e6)
+        b = model_parallel_allreduce(pod, 4, 2e6)
+        assert b > a
+
+    def test_open_segment_used(self, pod):
+        t = model_parallel_allreduce(pod, 4, 1e6)
+        # open line formula: 2 * ((k-1)/k * payload / bw + (k-1) * alpha)
+        expected = 2 * ((3 / 4) * 1e6 / pod.link_bandwidth + 3 * pod.chip.link_latency)
+        assert t == pytest.approx(expected)
+
+    def test_mp_exceeding_mesh(self):
+        mesh = slice_for_chips(16)
+        with pytest.raises(ValueError):
+            model_parallel_allreduce(mesh, 32, 1e6)
+
+
+class TestGradientAllreduce:
+    def test_dispatch_2d(self, pod):
+        assert gradient_allreduce(pod, 1e6, use_2d=True).total == pytest.approx(
+            two_phase_allreduce(pod, 1e6).total
+        )
+
+    def test_dispatch_flat(self, pod):
+        assert gradient_allreduce(pod, 1e6, use_2d=False).total == pytest.approx(
+            flat_ring_allreduce(pod, 1e6).total
+        )
+
+    def test_flat_with_mp_rejected(self, pod):
+        with pytest.raises(ValueError):
+            gradient_allreduce(pod, 1e6, mp_size=2, use_2d=False)

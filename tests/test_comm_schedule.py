@@ -1,0 +1,103 @@
+"""Event-driven collective schedules vs the closed-form alpha-beta model.
+
+These are the validation tests DESIGN.md section 6 promises: the link-level
+simulation of a ring schedule must reproduce the analytic cost exactly for
+uncontended rings and for the contended model-peer rings.
+"""
+
+import pytest
+
+from repro.comm.cost import reduce_scatter_time, ring_cost_for
+from repro.comm.schedule import (
+    simulate_ring_all_gather,
+    simulate_ring_reduce_scatter,
+)
+from repro.hardware.rings import model_peer_ring, x_line, y_ring
+from repro.hardware.topology import TorusMesh, slice_for_chips
+
+PAYLOAD = 1.0e6
+
+
+def _analytic(mesh, ring, payload, bidirectional=True, frac=1.0):
+    c = ring_cost_for(mesh, ring)
+    closed = c.closed and bidirectional
+    return reduce_scatter_time(
+        c.num_members, payload, c.bandwidth, c.latency,
+        closed=closed, hop_links=c.hop_links, bandwidth_fraction=frac,
+    )
+
+
+class TestSingleRingValidation:
+    def test_closed_y_ring_bidirectional(self, pod):
+        ring = y_ring(pod, 0)
+        des = simulate_ring_reduce_scatter(pod, ring, PAYLOAD)
+        assert des == pytest.approx(_analytic(pod, ring, PAYLOAD), rel=1e-9)
+
+    def test_closed_ring_unidirectional(self, pod):
+        ring = y_ring(pod, 0)
+        des = simulate_ring_reduce_scatter(pod, ring, PAYLOAD, bidirectional=False)
+        c = ring_cost_for(pod, ring)
+        expected = reduce_scatter_time(
+            c.num_members, PAYLOAD, c.bandwidth, c.latency,
+            closed=False,  # one direction == line bandwidth term
+        )
+        assert des == pytest.approx(expected, rel=1e-9)
+
+    def test_open_x_line(self):
+        mesh = slice_for_chips(512)  # 16x32, X open
+        ring = x_line(mesh, 0)
+        des = simulate_ring_reduce_scatter(mesh, ring, PAYLOAD)
+        assert des == pytest.approx(_analytic(mesh, ring, PAYLOAD), rel=1e-9)
+
+    def test_all_gather_matches_reduce_scatter(self, pod):
+        ring = y_ring(pod, 0)
+        rs = simulate_ring_reduce_scatter(pod, ring, PAYLOAD)
+        ag = simulate_ring_all_gather(pod, ring, PAYLOAD)
+        assert ag == pytest.approx(rs)
+
+    def test_small_ring(self):
+        mesh = TorusMesh(2, 4, wrap_y=True)
+        ring = y_ring(mesh, 0)
+        des = simulate_ring_reduce_scatter(mesh, ring, PAYLOAD)
+        assert des == pytest.approx(_analytic(mesh, ring, PAYLOAD), rel=1e-9)
+
+
+class TestConcurrentRings:
+    def test_disjoint_y_rings_do_not_contend(self, pod):
+        """All 32 column rings run concurrently at single-ring speed."""
+        one = simulate_ring_reduce_scatter(pod, y_ring(pod, 0), PAYLOAD)
+        rings = [y_ring(pod, x) for x in range(pod.x_size)]
+        many = simulate_ring_reduce_scatter(pod, rings, PAYLOAD)
+        assert many == pytest.approx(one, rel=1e-9)
+
+    def test_peer_rings_share_bandwidth(self, pod):
+        """mp peer rings contend on X links: the DES shows the 1/mp
+        bandwidth share the analytic model charges."""
+        mp = 4
+        rings = [model_peer_ring(pod, 0, mp, p) for p in range(mp)]
+        des = simulate_ring_reduce_scatter(pod, rings, PAYLOAD)
+        expected = _analytic(pod, rings[0], PAYLOAD, frac=1.0 / mp)
+        assert des == pytest.approx(expected, rel=1e-9)
+
+    def test_single_peer_ring_store_and_forward(self, pod):
+        """A lone multi-hop ring in the DES forwards chunks segment by
+        segment (store-and-forward), which is equivalent to 1/hop_links of
+        a link's bandwidth — the same aggregate the full set of peer rings
+        achieves by contention.  The analytic model always charges that
+        share because the schedule always runs all peer rings together."""
+        ring = model_peer_ring(pod, 0, 4, 0)
+        des = simulate_ring_reduce_scatter(pod, ring, PAYLOAD)
+        expected = _analytic(pod, ring, PAYLOAD, frac=1.0 / ring.hop_stride)
+        assert des == pytest.approx(expected, rel=1e-9)
+
+
+class TestEdgeCases:
+    def test_zero_payload(self, pod):
+        ring = y_ring(pod, 0)
+        des = simulate_ring_reduce_scatter(pod, ring, 0.0)
+        # Only latency terms remain.
+        assert des == pytest.approx(31 * pod.chip.link_latency, rel=1e-9)
+
+    def test_negative_payload_rejected(self, pod):
+        with pytest.raises(ValueError):
+            simulate_ring_reduce_scatter(pod, y_ring(pod, 0), -1.0)

@@ -1,0 +1,99 @@
+"""Distributed batch normalization tests (§4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.batchnorm import (
+    batch_norm_group_cost,
+    distributed_batch_norm,
+    local_batch_norm,
+)
+
+
+def _shards(rng, n=4, batch=8, feat=5):
+    return [rng.standard_normal((batch, feat)) * 3 + 1 for _ in range(n)]
+
+
+class TestLocal:
+    def test_normalizes(self, rng):
+        x = rng.standard_normal((32, 4)) * 7 + 2
+        y = local_batch_norm(x, np.ones(4), np.zeros(4))
+        assert np.allclose(y.mean(axis=0), 0, atol=1e-10)
+        assert np.allclose(y.std(axis=0), 1, atol=1e-2)
+
+    def test_gamma_beta(self, rng):
+        x = rng.standard_normal((32, 4))
+        y = local_batch_norm(x, 2 * np.ones(4), 3 * np.ones(4))
+        assert np.allclose(y.mean(axis=0), 3, atol=1e-10)
+
+    def test_shape_check(self, rng):
+        with pytest.raises(ValueError):
+            local_batch_norm(rng.standard_normal(8), np.ones(1), np.zeros(1))
+
+
+class TestDistributed:
+    def test_global_group_matches_full_batch(self, rng):
+        """Full-mesh group == single-device BN over the concatenated batch
+        — the equivalence that recovers large-batch statistics."""
+        shards = _shards(rng)
+        gamma, beta = np.ones(5), np.zeros(5)
+        dist = distributed_batch_norm(shards, gamma, beta)
+        full = local_batch_norm(np.concatenate(shards), gamma, beta)
+        assert np.allclose(np.concatenate(dist.outputs), full, rtol=1e-10)
+
+    def test_group_size_one_is_local(self, rng):
+        shards = _shards(rng)
+        gamma, beta = np.ones(5), np.zeros(5)
+        dist = distributed_batch_norm(shards, gamma, beta, group_size=1)
+        for shard, out in zip(shards, dist.outputs):
+            assert np.allclose(out, local_batch_norm(shard, gamma, beta))
+
+    def test_intermediate_groups(self, rng):
+        shards = _shards(rng, n=4)
+        gamma, beta = np.ones(5), np.zeros(5)
+        dist = distributed_batch_norm(shards, gamma, beta, group_size=2)
+        # Groups (0,1) and (2,3) share moments within but not across.
+        assert np.allclose(dist.group_mean[0], dist.group_mean[1])
+        assert not np.allclose(dist.group_mean[0], dist.group_mean[2])
+        pair = local_batch_norm(np.concatenate(shards[:2]), gamma, beta)
+        assert np.allclose(np.concatenate(dist.outputs[:2]), pair, rtol=1e-10)
+
+    def test_group_statistics_denoise(self, rng):
+        """Bigger groups -> group mean closer to the population mean."""
+        shards = _shards(rng, n=8, batch=4)
+        gamma, beta = np.ones(5), np.zeros(5)
+        local = distributed_batch_norm(shards, gamma, beta, group_size=1)
+        global_ = distributed_batch_norm(shards, gamma, beta, group_size=8)
+        pop_mean = np.concatenate(shards).mean(axis=0)
+        local_err = np.mean([np.abs(m - pop_mean).mean() for m in local.group_mean])
+        global_err = np.mean([np.abs(m - pop_mean).mean() for m in global_.group_mean])
+        assert global_err < local_err
+
+    def test_invalid_group_size(self, rng):
+        with pytest.raises(ValueError):
+            distributed_batch_norm(_shards(rng), np.ones(5), np.zeros(5), group_size=3)
+
+    def test_mismatched_shards(self, rng):
+        shards = [rng.standard_normal((4, 5)), rng.standard_normal((6, 5))]
+        with pytest.raises(ValueError):
+            distributed_batch_norm(shards, np.ones(5), np.zeros(5))
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            distributed_batch_norm([], np.ones(1), np.zeros(1))
+
+
+class TestCost:
+    def test_latency_bound(self):
+        """The moment payload is tiny: doubling features barely matters."""
+        a = batch_norm_group_cost(64, 32, 70e9, 1e-6)
+        b = batch_norm_group_cost(2048, 32, 70e9, 1e-6)
+        assert b < 1.1 * a
+
+    def test_single_group_free(self):
+        assert batch_norm_group_cost(64, 1, 70e9, 1e-6) == 0.0
+
+    def test_grows_with_group(self):
+        assert batch_norm_group_cost(64, 32, 70e9, 1e-6) > batch_norm_group_cost(
+            64, 4, 70e9, 1e-6
+        )

@@ -1,0 +1,85 @@
+"""Convergence-model tests."""
+
+import pytest
+
+from repro.core.convergence import BERT_SAMPLES_TABLE, ConvergenceModel, _log_interpolate
+from repro.models import (
+    bert_large_spec,
+    dlrm_spec,
+    maskrcnn_spec,
+    resnet50_spec,
+    ssd_spec,
+    transformer_big_spec,
+)
+
+
+class TestInterpolation:
+    def test_exact_points(self):
+        table = {100: 1.0, 1000: 2.0}
+        assert _log_interpolate(table, 100) == 1.0
+        assert _log_interpolate(table, 1000) == 2.0
+
+    def test_clamping(self):
+        table = {100: 1.0, 1000: 2.0}
+        assert _log_interpolate(table, 10) == 1.0
+        assert _log_interpolate(table, 10000) == 2.0
+
+    def test_log_midpoint(self):
+        table = {100: 1.0, 10000: 3.0}
+        assert _log_interpolate(table, 1000) == pytest.approx(2.0)
+
+    def test_empty_table(self):
+        with pytest.raises(ValueError):
+            _log_interpolate({}, 100)
+
+
+class TestResNet:
+    def test_paper_anchor_points(self):
+        """Section 5: 44 epochs at batch 4K, 88 at 64K."""
+        m = ConvergenceModel(resnet50_spec())
+        assert m.epochs_to_converge(4096) == pytest.approx(44.0)
+        assert m.epochs_to_converge(65536) == pytest.approx(88.0)
+
+    def test_monotone_in_batch(self):
+        m = ConvergenceModel(resnet50_spec())
+        epochs = [m.epochs_to_converge(b) for b in (4096, 16384, 65536)]
+        assert epochs == sorted(epochs)
+
+    def test_steps_count(self):
+        m = ConvergenceModel(resnet50_spec())
+        steps = m.steps_to_converge(65536)
+        assert steps == -(-int(88 * 1_281_167) // 65536)
+
+
+class TestBert:
+    def test_sample_based(self):
+        m = ConvergenceModel(bert_large_spec())
+        assert m.samples_to_converge(8192) == pytest.approx(
+            BERT_SAMPLES_TABLE[8192]
+        )
+
+    def test_large_batch_needs_more_samples(self):
+        m = ConvergenceModel(bert_large_spec())
+        assert m.samples_to_converge(32768) > m.samples_to_converge(1024)
+
+    def test_steps_decrease_with_batch(self):
+        m = ConvergenceModel(bert_large_spec())
+        assert m.steps_to_converge(8192) < m.steps_to_converge(1024)
+
+
+class TestOthers:
+    def test_transformer_fixed_budget(self):
+        m = ConvergenceModel(transformer_big_spec())
+        assert m.epochs_to_converge(2048) == pytest.approx(3.0)
+
+    def test_dlrm_less_than_one_epoch(self):
+        m = ConvergenceModel(dlrm_spec())
+        assert m.epochs_to_converge(65536) < 1.0
+
+    def test_ssd_and_maskrcnn_tables(self):
+        assert ConvergenceModel(ssd_spec()).epochs_to_converge(4096) == 64.0
+        assert ConvergenceModel(maskrcnn_spec()).epochs_to_converge(256) == 26.0
+
+    def test_invalid_batch(self):
+        with pytest.raises(ValueError):
+            ConvergenceModel(resnet50_spec()).epochs_to_converge(0)

@@ -1,0 +1,53 @@
+"""End-to-end MLPerf time model tests."""
+
+import pytest
+
+from repro.core.end_to_end import EndToEndModel, num_evals_for
+from repro.core.convergence import ConvergenceModel
+from repro.core.planner import plan_parallelism
+from repro.frameworks.jax import MultiClientJAX
+from repro.frameworks.tensorflow import SingleClientTF
+from repro.models import bert_large_spec, resnet50_spec
+
+
+class TestEndToEnd:
+    def test_total_composition(self):
+        spec = resnet50_spec()
+        model = EndToEndModel(spec)
+        r = model.run(plan_parallelism(spec, 256).config)
+        assert r.total_seconds == pytest.approx(
+            r.steps * r.step.total + r.eval_seconds
+        )
+        assert r.total_minutes == pytest.approx(r.total_seconds / 60)
+
+    def test_more_chips_faster(self):
+        spec = resnet50_spec()
+        model = EndToEndModel(spec)
+        small = model.run(plan_parallelism(spec, 256).config)
+        large = model.run(plan_parallelism(spec, 4096).config)
+        assert large.total_seconds < small.total_seconds
+
+    def test_throughput(self):
+        spec = resnet50_spec()
+        r = EndToEndModel(spec).run(plan_parallelism(spec, 1024).config)
+        assert r.throughput_examples_per_second == pytest.approx(
+            r.config.global_batch / r.step.total
+        )
+
+    def test_framework_changes_init_not_steps(self):
+        spec = bert_large_spec()
+        cfg = plan_parallelism(spec, 1024).config
+        tf = EndToEndModel(spec, framework=SingleClientTF()).run(cfg)
+        jax = EndToEndModel(spec, framework=MultiClientJAX()).run(cfg)
+        assert tf.steps == jax.steps
+        assert tf.step.total == pytest.approx(jax.step.total)
+        assert tf.init_seconds != jax.init_seconds
+
+    def test_eval_count_rules(self):
+        resnet = resnet50_spec()
+        conv = ConvergenceModel(resnet)
+        # 88 epochs / eval-every-4 => 22 evals at batch 65536.
+        assert num_evals_for(resnet, conv, 65536) == 22
+        bert = bert_large_spec()
+        bconv = ConvergenceModel(bert)
+        assert num_evals_for(bert, bconv, 8192) == 10  # 5M / 500k

@@ -1,0 +1,88 @@
+"""HBM memory-model tests: the paper's batch caps are memory-consistent."""
+
+import pytest
+
+from repro.core.memory import MemoryModel
+from repro.core.planner import PLANNER_RULES, plan_parallelism
+from repro.core.strategy import ParallelismConfig
+from repro.experiments.calibration import spec_for
+from repro.models import bert_large_spec, maskrcnn_spec, resnet50_spec
+
+
+class TestFootprint:
+    def test_components_sum(self):
+        spec = resnet50_spec()
+        cfg = ParallelismConfig(num_chips=256, global_batch=65536)
+        fp = MemoryModel(spec, cfg).footprint()
+        assert fp.total == pytest.approx(
+            fp.weights + fp.gradients + fp.optimizer_slots + fp.activations
+        )
+
+    def test_wus_shrinks_slots(self):
+        spec = bert_large_spec()
+        base = ParallelismConfig(num_chips=512, global_batch=8192)
+        with_wus = MemoryModel(spec, base).footprint()
+        without = MemoryModel(
+            spec, base.with_(use_weight_update_sharding=False)
+        ).footprint()
+        assert without.optimizer_slots == pytest.approx(
+            with_wus.optimizer_slots * base.num_replicas
+        )
+
+    def test_mp_divides_weights(self):
+        spec = spec_for("transformer")
+        dp = ParallelismConfig(num_chips=1024, global_batch=2048)
+        mp = ParallelismConfig(num_chips=1024, global_batch=2048, mp_cores=4)
+        assert MemoryModel(spec, mp).footprint().weights == pytest.approx(
+            MemoryModel(spec, dp).footprint().weights / 4
+        )
+
+
+class TestPaperCapsAreMemoryConsistent:
+    @pytest.mark.parametrize("name", sorted(PLANNER_RULES))
+    @pytest.mark.parametrize("chips", [16, 256, 4096])
+    def test_planned_configs_fit(self, name, chips):
+        """Every configuration the planner emits must fit HBM."""
+        spec = spec_for(name)
+        plan = plan_parallelism(spec, chips)
+        model = MemoryModel(spec, plan.config)
+        assert model.fits(), (
+            f"{name}@{chips}: {model.footprint().total / 2**30:.1f} GiB "
+            f"> {model.per_core_budget / 2**30:.1f} GiB"
+        )
+
+    def test_resnet_cap_near_memory_limit(self):
+        """256/chip is the right order: 4x that would blow the budget."""
+        spec = resnet50_spec()
+        at_cap = ParallelismConfig(num_chips=16, global_batch=256 * 16)
+        assert MemoryModel(spec, at_cap).fits()
+        over = ParallelismConfig(num_chips=16, global_batch=1024 * 16)
+        assert not MemoryModel(spec, over).fits()
+
+    def test_bert_cap_near_memory_limit(self):
+        spec = bert_large_spec()
+        at_cap = ParallelismConfig(num_chips=16, global_batch=48 * 16)
+        assert MemoryModel(spec, at_cap).fits()
+        over = ParallelismConfig(num_chips=16, global_batch=256 * 16)
+        assert not MemoryModel(spec, over).fits()
+
+    def test_maskrcnn_memory_envelope(self):
+        """MaskRCNN's planner cap (4/chip) is convergence-driven, not
+        memory-driven — but its 800x1333 activations still bound the
+        per-core batch to a few tens of examples."""
+        spec = maskrcnn_spec()
+        cfg = ParallelismConfig(num_chips=64, global_batch=256)
+        assert MemoryModel(spec, cfg).fits()
+        big = ParallelismConfig(num_chips=64, global_batch=64 * 128)  # 64/core
+        assert not MemoryModel(spec, big).fits()
+
+    def test_max_batch_per_core_consistent_with_fits(self):
+        spec = resnet50_spec()
+        cfg = ParallelismConfig(num_chips=16, global_batch=4096)
+        model = MemoryModel(spec, cfg)
+        cap = model.max_batch_per_core()
+        assert cap >= cfg.batch_per_core
+        over = ParallelismConfig(
+            num_chips=16, global_batch=int((cap + 8) * 32)
+        )
+        assert not MemoryModel(spec, over).fits()

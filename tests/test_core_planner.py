@@ -1,0 +1,85 @@
+"""Parallelism-planner tests: reproduce the paper's per-model choices."""
+
+import pytest
+
+from repro.core.planner import plan_parallelism
+from repro.models import (
+    bert_large_spec,
+    dlrm_spec,
+    maskrcnn_spec,
+    resnet50_spec,
+    ssd_spec,
+    transformer_big_spec,
+)
+
+
+class TestPaperChoices:
+    def test_resnet_pure_dp_at_multipod(self):
+        """Section 4.2: data parallelism at batch 65536 on 4096 chips."""
+        plan = plan_parallelism(resnet50_spec(), 4096)
+        assert plan.config.mp_cores == 1
+        assert plan.config.global_batch == 65536
+
+    def test_resnet_batch_trajectory(self):
+        """Figure 6: 256/chip at small scale, 16/chip at 4096."""
+        assert plan_parallelism(resnet50_spec(), 16).config.global_batch == 4096
+        assert plan_parallelism(resnet50_spec(), 4096).config.batch_per_core == 8
+
+    def test_bert_pure_dp(self):
+        """Section 4.1 / Figure 8: batch 8192 (2/chip) at 4096 chips."""
+        plan = plan_parallelism(bert_large_spec(), 4096)
+        assert plan.config.mp_cores == 1
+        assert plan.config.global_batch == 8192
+
+    def test_transformer_needs_mp_at_multipod(self):
+        """Section 4.3: 4-way model parallelism, batch fixed at 2048."""
+        plan = plan_parallelism(transformer_big_spec(), 4096)
+        assert plan.config.global_batch == 2048
+        assert plan.config.mp_cores == 4
+        assert not plan.config.spatial_partitioning
+
+    def test_transformer_dp_at_1024(self):
+        plan = plan_parallelism(transformer_big_spec(), 1024)
+        assert plan.config.mp_cores == 1
+
+    def test_ssd_spatial_mp_at_8192_cores(self):
+        """Section 4.4: batch 4096, spatial partitioning at 8192 cores."""
+        plan = plan_parallelism(ssd_spec(), 4096)
+        assert plan.config.global_batch == 4096
+        assert plan.config.mp_cores == 2
+        assert plan.config.spatial_partitioning
+
+    def test_maskrcnn_dp_until_128_cores(self):
+        """Section 4.5: DP up to 128 cores, then model parallelism."""
+        assert plan_parallelism(maskrcnn_spec(), 64).config.mp_cores == 1
+        plan512 = plan_parallelism(maskrcnn_spec(), 512)
+        assert plan512.config.mp_cores == 4  # 1024 cores / batch 256
+        assert plan512.config.spatial_partitioning
+
+    def test_dlrm_small_slice(self):
+        plan = plan_parallelism(dlrm_spec(), 256)
+        assert plan.config.global_batch == 65536
+        assert plan.config.mp_cores == 1
+
+
+class TestMechanics:
+    def test_rationale_present(self):
+        plan = plan_parallelism(resnet50_spec(), 4096)
+        assert "batch" in plan.rationale
+
+    def test_unknown_benchmark(self):
+        import dataclasses
+
+        spec = dataclasses.replace(resnet50_spec(), name="alexnet")
+        with pytest.raises(KeyError):
+            plan_parallelism(spec, 16)
+
+    def test_invalid_chips(self):
+        with pytest.raises(ValueError):
+            plan_parallelism(resnet50_spec(), 0)
+
+    def test_mp_capped_at_model_limit(self):
+        """A slice far oversized for MaskRCNN caps at 8 MP cores."""
+        plan = plan_parallelism(maskrcnn_spec(), 4096)
+        assert plan.config.mp_cores <= 8
+        assert "oversized" in plan.rationale or "model parallelism" in plan.rationale

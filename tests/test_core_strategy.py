@@ -1,0 +1,43 @@
+"""ParallelismConfig tests."""
+
+import pytest
+
+from repro.core.strategy import ParallelismConfig
+
+
+class TestConfig:
+    def test_pure_data_parallel(self):
+        c = ParallelismConfig(num_chips=4096, global_batch=65536)
+        assert c.num_cores == 8192
+        assert c.num_replicas == 8192
+        assert c.batch_per_core == 8.0
+        assert c.mp_chips == 1
+
+    def test_model_parallel_replicas(self):
+        c = ParallelismConfig(num_chips=4096, global_batch=2048, mp_cores=4)
+        assert c.num_replicas == 2048
+        assert c.batch_per_replica == 1.0
+        assert c.mp_chips == 2
+
+    def test_mp_two_cores_one_chip(self):
+        c = ParallelismConfig(num_chips=16, global_batch=16, mp_cores=2)
+        assert c.mp_chips == 1
+
+    def test_invalid_divisibility(self):
+        with pytest.raises(ValueError):
+            ParallelismConfig(num_chips=3, global_batch=8, mp_cores=4)
+
+    def test_invalid_values(self):
+        with pytest.raises(ValueError):
+            ParallelismConfig(num_chips=0, global_batch=8)
+        with pytest.raises(ValueError):
+            ParallelismConfig(num_chips=4, global_batch=0)
+        with pytest.raises(ValueError):
+            ParallelismConfig(num_chips=4, global_batch=8, mp_cores=0)
+
+    def test_with_modifier(self):
+        c = ParallelismConfig(num_chips=16, global_batch=64)
+        c2 = c.with_(use_weight_update_sharding=False)
+        assert c.use_weight_update_sharding
+        assert not c2.use_weight_update_sharding
+        assert c2.num_chips == 16

@@ -1,0 +1,44 @@
+"""DLRM input-pipeline optimization tests (§3.5 / §4.6)."""
+
+import pytest
+
+from repro.input_pipeline.dlrm_input import (
+    DlrmInputConfig,
+    dlrm_input_throughput,
+    is_input_bound,
+)
+
+
+class TestThroughput:
+    def test_batch_parsing_beats_per_sample(self):
+        naive = dlrm_input_throughput(DlrmInputConfig(False, True, True))
+        batched = dlrm_input_throughput(DlrmInputConfig(True, True, True))
+        assert batched > naive
+
+    def test_stacking_beats_per_feature(self):
+        per_feature = dlrm_input_throughput(DlrmInputConfig(True, False, True))
+        stacked = dlrm_input_throughput(DlrmInputConfig(True, True, True))
+        assert stacked > 2 * per_feature
+
+    def test_pre_serialization_helps(self):
+        online = dlrm_input_throughput(DlrmInputConfig(True, True, False))
+        pre = dlrm_input_throughput(DlrmInputConfig(True, True, True))
+        assert pre >= online
+
+    def test_fully_optimized_feeds_device(self):
+        assert not is_input_bound(
+            DlrmInputConfig(True, True, True), device_step_seconds=1.4e-3
+        )
+
+    def test_naive_is_input_bound(self):
+        assert is_input_bound(
+            DlrmInputConfig(False, False, False), device_step_seconds=1.4e-3
+        )
+
+    def test_labels(self):
+        assert "batch-parse" in DlrmInputConfig(True, True, True).label
+        assert "per-feature" in DlrmInputConfig(True, False, True).label
+
+    def test_invalid_batch(self):
+        with pytest.raises(ValueError):
+            dlrm_input_throughput(DlrmInputConfig(), batch_per_host=0)

@@ -1,0 +1,56 @@
+"""Framework runtime model tests (Table 2 mechanisms)."""
+
+import pytest
+
+from repro.frameworks.base import GraphProfile
+from repro.frameworks.jax import MultiClientJAX
+from repro.frameworks.tensorflow import SingleClientTF
+
+PROFILE = GraphProfile("toy", compile_seconds=100.0, graph_build_seconds_per_worker=1.0)
+
+
+class TestSingleClientTF:
+    def test_init_linear_in_hosts(self):
+        tf = SingleClientTF()
+        t64 = tf.init_time(64, PROFILE)
+        t512 = tf.init_time(512, PROFILE)
+        # The per-worker term dominates the growth.
+        assert t512 - t64 == pytest.approx((512 - 64) * (1.0 + tf.rpc_seconds_per_host))
+
+    def test_metric_gather_scales_with_hosts(self):
+        tf = SingleClientTF()
+        assert tf.eval_metric_time(512, 8.0) > tf.eval_metric_time(8, 8.0)
+
+    def test_invalid_hosts(self):
+        with pytest.raises(ValueError):
+            SingleClientTF().init_time(0, PROFILE)
+        with pytest.raises(ValueError):
+            SingleClientTF().eval_metric_time(0, 8.0)
+
+
+class TestMultiClientJAX:
+    def test_init_near_constant(self):
+        jax = MultiClientJAX()
+        t64 = jax.init_time(64, PROFILE)
+        t512 = jax.init_time(512, PROFILE)
+        # Only the log term grows: 3 doublings x 6s.
+        assert t512 - t64 == pytest.approx(3 * 6.0)
+
+    def test_metric_time_tiny(self):
+        assert MultiClientJAX().eval_metric_time(512, 8.0) < 0.1
+
+    def test_invalid_hosts(self):
+        with pytest.raises(ValueError):
+            MultiClientJAX().init_time(0, PROFILE)
+
+
+class TestContrast:
+    def test_jax_beats_tf_at_scale(self):
+        """Table 2: JAX init is several times lower at 512 hosts."""
+        tf = SingleClientTF().init_time(512, PROFILE)
+        jax = MultiClientJAX().init_time(512, PROFILE)
+        assert jax < tf / 2
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            GraphProfile("x", -1.0, 0.0)

@@ -1,0 +1,111 @@
+"""Host input-pipeline simulation tests (§3.5)."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.chip import HostSpec
+from repro.input_pipeline.host import simulate_host_pipeline
+from repro.input_pipeline.imbalance import multipod_input_imbalance
+from repro.input_pipeline.stages import (
+    JpegSizeModel,
+    PipelineStage,
+    crop_flip_normalize_stage,
+    jpeg_decode_stage,
+    uncompressed_read_stage,
+)
+
+
+class TestStages:
+    def test_jpeg_sizes_heavy_tailed(self, rng):
+        model = JpegSizeModel()
+        sizes = model.sample(rng, 20_000)
+        assert np.median(sizes) == pytest.approx(110e3, rel=0.1)
+        assert np.max(sizes) <= model.max_bytes
+        assert np.percentile(sizes, 99) > 3 * np.median(sizes)
+
+    def test_decode_cost_proportional_to_size(self, rng):
+        host = HostSpec(jpeg_decode_rate=100e6)
+        stage = jpeg_decode_stage(host, JpegSizeModel(median_bytes=100e3, sigma=0.01))
+        cost = stage.sample_cost(rng)
+        assert cost == pytest.approx(100e3 / 100e6, rel=0.1)
+
+    def test_uncompressed_constant(self, rng):
+        stage = uncompressed_read_stage()
+        costs = {stage.sample_cost(rng) for _ in range(5)}
+        assert len(costs) == 1
+
+    def test_negative_cost_rejected(self, rng):
+        stage = PipelineStage("bad", lambda rng: -1.0)
+        with pytest.raises(ValueError):
+            stage.sample_cost(rng)
+
+
+class TestHostPipeline:
+    def test_fast_pipeline_no_stalls(self):
+        cheap = PipelineStage("cheap", lambda rng: 1e-6)
+        res = simulate_host_pipeline(
+            [cheap], batch_per_host=8, device_step_seconds=0.01,
+            steps=10, workers=8, prefetch_batches=2.0,
+        )
+        assert res.slowdown == pytest.approx(1.0, rel=0.05)
+        assert res.stall_fraction < 0.05
+
+    def test_slow_pipeline_stalls_device(self):
+        slow = PipelineStage("slow", lambda rng: 0.02)
+        res = simulate_host_pipeline(
+            [slow], batch_per_host=8, device_step_seconds=0.01,
+            steps=10, workers=2, prefetch_batches=1.0,
+        )
+        assert res.slowdown > 2.0
+        assert res.stall_fraction > 0.3
+
+    def test_prefetch_hides_variance(self, rng):
+        def spiky(rng):
+            return 0.05 if rng.random() < 0.02 else 0.0005
+
+        stage = PipelineStage("spiky", spiky)
+        kwargs = dict(batch_per_host=16, device_step_seconds=0.004,
+                      steps=60, workers=8, seed=3)
+        shallow = simulate_host_pipeline([stage], prefetch_batches=1.0, **kwargs)
+        deep = simulate_host_pipeline([stage], prefetch_batches=16.0, **kwargs)
+        assert deep.total_seconds <= shallow.total_seconds
+
+    def test_determinism(self):
+        stage = crop_flip_normalize_stage()
+        a = simulate_host_pipeline([stage], batch_per_host=4,
+                                   device_step_seconds=0.01, steps=5, seed=1)
+        b = simulate_host_pipeline([stage], batch_per_host=4,
+                                   device_step_seconds=0.01, steps=5, seed=1)
+        assert a.total_seconds == b.total_seconds
+
+    def test_invalid_args(self):
+        stage = crop_flip_normalize_stage()
+        with pytest.raises(ValueError):
+            simulate_host_pipeline([stage], batch_per_host=0,
+                                   device_step_seconds=0.01, steps=5)
+        with pytest.raises(ValueError):
+            simulate_host_pipeline([stage], batch_per_host=4,
+                                   device_step_seconds=0.0, steps=5)
+
+
+class TestImbalance:
+    def test_uncompressed_removes_imbalance(self):
+        """The Section 3.5 claim, at reduced scale for test speed."""
+        host = HostSpec(jpeg_decode_rate=50e6)
+        compressed, uncompressed = multipod_input_imbalance(
+            num_hosts=6, batch_per_host=64, device_step_seconds=0.0105,
+            steps=15, host=host,
+        )
+        assert compressed.max_slowdown > uncompressed.max_slowdown
+        assert uncompressed.max_slowdown < 1.05
+
+    def test_report_stats(self):
+        compressed, _ = multipod_input_imbalance(
+            num_hosts=3, batch_per_host=16, steps=5,
+        )
+        assert compressed.num_hosts == 3
+        assert compressed.max_slowdown >= compressed.mean_slowdown >= 1.0
+
+    def test_invalid_hosts(self):
+        with pytest.raises(ValueError):
+            multipod_input_imbalance(num_hosts=0)

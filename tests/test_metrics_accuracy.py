@@ -1,0 +1,88 @@
+"""Distributed eval-metric tests (§3.4)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.accuracy import (
+    coordinator_top1_accuracy,
+    distributed_top1_accuracy,
+    pad_eval_dataset,
+)
+
+
+def _shards(rng, n_devices=4, per_device=25, acc=0.6):
+    preds, labels, masks = [], [], []
+    for _ in range(n_devices):
+        lab = rng.integers(0, 10, per_device)
+        pred = lab.copy()
+        flip = rng.random(per_device) > acc
+        pred[flip] = (pred[flip] + 1) % 10
+        preds.append(pred)
+        labels.append(lab)
+        masks.append(np.ones(per_device, dtype=bool))
+    return preds, labels, masks
+
+
+class TestPadding:
+    def test_pads_to_size(self, rng):
+        x = rng.standard_normal((10, 3))
+        y = rng.integers(0, 5, 10)
+        xp, yp, mask = pad_eval_dataset(x, y, 16)
+        assert xp.shape == (16, 3)
+        assert mask.sum() == 10
+        assert not mask[10:].any()
+
+    def test_no_padding_needed(self, rng):
+        x = rng.standard_normal((8, 2))
+        y = rng.integers(0, 2, 8)
+        xp, yp, mask = pad_eval_dataset(x, y, 8)
+        assert mask.all()
+
+    def test_too_small_total(self, rng):
+        with pytest.raises(ValueError):
+            pad_eval_dataset(np.zeros((4, 2)), np.zeros(4, int), 2)
+
+    def test_mismatched_sizes(self):
+        with pytest.raises(ValueError):
+            pad_eval_dataset(np.zeros((4, 2)), np.zeros(5, int), 8)
+
+
+class TestAccuracy:
+    def test_both_paths_agree(self, rng):
+        """JAX (all-reduce) and TF (coordinator gather) compute the same
+        number — the difference is purely where the reduction runs."""
+        preds, labels, masks = _shards(rng)
+        jax = distributed_top1_accuracy(preds, labels, masks)
+        tf = coordinator_top1_accuracy(preds, labels, masks)
+        assert jax == pytest.approx(tf, rel=1e-12)
+
+    def test_exact_value(self):
+        preds = [np.array([1, 2, 3]), np.array([4, 5, 6])]
+        labels = [np.array([1, 2, 0]), np.array([4, 0, 6])]
+        masks = [np.ones(3, bool), np.ones(3, bool)]
+        assert distributed_top1_accuracy(preds, labels, masks) == pytest.approx(4 / 6)
+
+    def test_padding_excluded(self):
+        """Dummy examples (the paper pads the eval set) must not count."""
+        preds = [np.array([1, 9, 9])]
+        labels = [np.array([1, 9, 9])]
+        masks = [np.array([True, False, False])]
+        assert distributed_top1_accuracy(preds, labels, masks) == 1.0
+        # The padded rows agree with their labels; including them would
+        # still give 1.0, so also test a disagreeing pad.
+        preds = [np.array([1, 0, 0])]
+        labels = [np.array([1, 9, 9])]
+        assert distributed_top1_accuracy(preds, labels, masks) == 1.0
+
+    def test_all_padding_rejected(self):
+        preds = [np.array([1])]
+        labels = [np.array([1])]
+        masks = [np.array([False])]
+        with pytest.raises(ValueError):
+            distributed_top1_accuracy(preds, labels, masks)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            distributed_top1_accuracy(
+                [np.zeros(3)], [np.zeros(4)], [np.ones(3, bool)]
+            )

@@ -1,0 +1,55 @@
+"""COCO-eval scheduling tests (§4.4)."""
+
+import pytest
+
+from repro.metrics.coco import (
+    coordinator_eval_schedule,
+    round_robin_eval_schedule,
+)
+
+
+class TestCoordinator:
+    def test_queueing_when_evals_pile_up(self):
+        # Evals triggered every 10s, each takes 25s: they queue.
+        triggers = [0.0, 10.0, 20.0]
+        s = coordinator_eval_schedule(triggers, eval_seconds=25.0)
+        assert s.completion_times == (25.0, 50.0, 75.0)
+        assert s.latencies == (25.0, 40.0, 55.0)
+
+    def test_no_queueing_when_sparse(self):
+        s = coordinator_eval_schedule([0.0, 100.0], eval_seconds=10.0)
+        assert s.latencies == (10.0, 10.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            coordinator_eval_schedule([], 10.0)
+        with pytest.raises(ValueError):
+            coordinator_eval_schedule([5.0, 1.0], 10.0)
+        with pytest.raises(ValueError):
+            coordinator_eval_schedule([0.0], 0.0)
+
+
+class TestRoundRobin:
+    def test_overlapping_evals(self):
+        triggers = [0.0, 10.0, 20.0]
+        s = round_robin_eval_schedule(triggers, eval_seconds=25.0, num_workers=3)
+        assert s.completion_times == (25.0, 35.0, 45.0)
+        assert s.latencies == (25.0, 25.0, 25.0)
+
+    def test_single_worker_degenerates_to_coordinator(self):
+        triggers = [0.0, 10.0, 20.0]
+        rr = round_robin_eval_schedule(triggers, 25.0, num_workers=1)
+        co = coordinator_eval_schedule(triggers, 25.0)
+        assert rr.completion_times == co.completion_times
+
+    def test_round_robin_beats_coordinator(self):
+        """The paper's motivation for JAX's distributed COCO eval."""
+        triggers = [float(10 * i) for i in range(8)]
+        rr = round_robin_eval_schedule(triggers, 30.0, num_workers=8)
+        co = coordinator_eval_schedule(triggers, 30.0)
+        assert rr.max_latency < co.max_latency
+        assert rr.final_completion < co.final_completion
+
+    def test_worker_validation(self):
+        with pytest.raises(ValueError):
+            round_robin_eval_schedule([0.0], 10.0, num_workers=0)

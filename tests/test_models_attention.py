@@ -1,0 +1,121 @@
+"""Attention layer tests: gradients and head-sharded equivalence (§4.3)."""
+
+import numpy as np
+import pytest
+
+from repro.models.attention import (
+    AttentionParams,
+    HeadShardedAttention,
+    attention_backward,
+    attention_forward,
+)
+
+
+@pytest.fixture
+def params(rng):
+    return AttentionParams.init(rng, hidden=12, num_heads=4, head_dim=3)
+
+
+class TestForward:
+    def test_output_shape(self, params, rng):
+        x = rng.standard_normal((7, 12))
+        out, _ = attention_forward(params, x)
+        assert out.shape == (7, 12)
+
+    def test_attention_rows_are_convex_combinations(self, params, rng):
+        x = rng.standard_normal((5, 12))
+        _, cache = attention_forward(params, x)
+        probs = cache["probs"]
+        assert np.allclose(probs.sum(axis=-1), 1.0)
+        assert np.all(probs >= 0)
+
+    def test_input_validation(self, params, rng):
+        with pytest.raises(ValueError):
+            attention_forward(params, rng.standard_normal((7, 5)))
+
+    def test_params_validation(self, rng):
+        with pytest.raises(ValueError):
+            AttentionParams(
+                wq=rng.standard_normal((8, 10)),
+                wk=rng.standard_normal((8, 10)),
+                wv=rng.standard_normal((8, 10)),
+                wo=rng.standard_normal((10, 8)),
+                num_heads=3,  # 10 % 3 != 0
+            )
+
+
+class TestBackward:
+    def test_gradients_match_numerical(self, rng):
+        params = AttentionParams.init(rng, hidden=6, num_heads=2, head_dim=3)
+        x = rng.standard_normal((4, 6))
+        target = rng.standard_normal((4, 6))
+
+        def loss():
+            out, _ = attention_forward(params, x)
+            return 0.5 * float(np.sum((out - target) ** 2))
+
+        out, cache = attention_forward(params, x)
+        dout = out - target
+        dx, grads = attention_backward(params, cache, dout)
+        eps = 1e-6
+        # Check a sample of weight entries and all of dx.
+        for name in ("wq", "wk", "wv", "wo"):
+            w = getattr(params, name)
+            g = getattr(grads, name)
+            flat = w.reshape(-1)
+            for idx in range(0, flat.size, max(1, flat.size // 6)):
+                old = flat[idx]
+                flat[idx] = old + eps
+                hi = loss()
+                flat[idx] = old - eps
+                lo = loss()
+                flat[idx] = old
+                assert g.reshape(-1)[idx] == pytest.approx(
+                    (hi - lo) / (2 * eps), abs=1e-4
+                ), name
+        flat = x.reshape(-1)
+        for idx in range(flat.size):
+            old = flat[idx]
+            flat[idx] = old + eps
+            hi = loss()
+            flat[idx] = old - eps
+            lo = loss()
+            flat[idx] = old
+            assert dx.reshape(-1)[idx] == pytest.approx(
+                (hi - lo) / (2 * eps), abs=1e-4
+            )
+
+
+class TestHeadSharding:
+    @pytest.mark.parametrize("mp", [1, 2, 4])
+    def test_forward_matches_full(self, params, rng, mp):
+        x = rng.standard_normal((6, 12))
+        full, _ = attention_forward(params, x)
+        sharded = HeadShardedAttention(params, mp).forward(x)
+        assert np.allclose(sharded, full, rtol=1e-12)
+
+    @pytest.mark.parametrize("mp", [2, 4])
+    def test_backward_matches_full(self, params, rng, mp):
+        x = rng.standard_normal((6, 12))
+        dout = rng.standard_normal((6, 12))
+        _, cache = attention_forward(params, x)
+        dx_full, grads_full = attention_backward(params, cache, dout)
+        sharded = HeadShardedAttention(params, mp)
+        dx, shard_grads = sharded.forward_backward(x, dout)
+        assert np.allclose(dx, dx_full, rtol=1e-10)
+        gathered = sharded.gather_grads(shard_grads)
+        for name in ("wq", "wk", "wv", "wo"):
+            assert np.allclose(
+                getattr(gathered, name), getattr(grads_full, name), rtol=1e-10
+            ), name
+
+    def test_indivisible_heads(self, params):
+        with pytest.raises(ValueError):
+            HeadShardedAttention(params, 3)
+
+    def test_each_core_holds_fraction(self, params):
+        sharded = HeadShardedAttention(params, 4)
+        assert sharded.shards[0].wq.shape == (12, 3)
+        assert sharded.shards[0].num_heads == 1
+        total = sum(s.wq.size for s in sharded.shards)
+        assert total == params.wq.size

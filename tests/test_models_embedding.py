@@ -1,0 +1,134 @@
+"""DLRM embedding partitioning and interaction-masking tests (§4.6)."""
+
+import numpy as np
+import pytest
+
+from repro.models.embedding import (
+    EmbeddingTableSpec,
+    ShardedEmbedding,
+    criteo_tables,
+    expand_weights_for_mask,
+    interaction_gather,
+    interaction_masked,
+    plan_embedding_placement,
+)
+
+HBM = 32 * 2**30
+
+
+class TestTableSpecs:
+    def test_bytes(self):
+        t = EmbeddingTableSpec("a", rows=1000, dim=128)
+        assert t.bytes == 1000 * 128 * 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EmbeddingTableSpec("a", rows=0, dim=8)
+
+    def test_criteo_tables_heavy_tailed(self):
+        tables = criteo_tables()
+        assert len(tables) == 26
+        sizes = sorted(t.bytes for t in tables)
+        assert sizes[-1] > 10 * sizes[len(sizes) // 2]
+
+    def test_criteo_does_not_fit_one_chip(self):
+        """The paper: partitioning 'is actually necessary to run the model'."""
+        total = sum(t.bytes for t in criteo_tables())
+        assert total > HBM
+
+
+class TestPlacement:
+    def test_fits_at_paper_scale(self):
+        plan = plan_embedding_placement(criteo_tables(), 256, HBM)
+        assert plan.fits(HBM)
+        assert plan.sharded  # the big tables are split
+        assert plan.replicated  # the small ones are not
+
+    def test_single_chip_raises(self):
+        with pytest.raises(MemoryError):
+            plan_embedding_placement(criteo_tables(), 1, HBM)
+
+    def test_small_tables_replicate(self):
+        tables = [EmbeddingTableSpec("tiny", 100, 16)]
+        plan = plan_embedding_placement(tables, 8, HBM)
+        assert plan.replicated == tuple(tables)
+        assert not plan.sharded
+
+    def test_per_chip_accounting(self):
+        tables = [
+            EmbeddingTableSpec("small", 1000, 16),       # replicated
+            EmbeddingTableSpec("large", 10_000_000, 64),  # sharded
+        ]
+        plan = plan_embedding_placement(tables, 4, HBM)
+        expected = tables[0].bytes + tables[1].bytes / 4
+        assert plan.per_chip_bytes() == pytest.approx(expected)
+
+    def test_invalid_chips(self):
+        with pytest.raises(ValueError):
+            plan_embedding_placement([], 0, HBM)
+
+
+class TestShardedLookup:
+    def test_matches_direct_indexing(self, rng):
+        table = rng.standard_normal((97, 8))  # uneven rows
+        se = ShardedEmbedding(table, 4)
+        ids = rng.integers(0, 97, 64)
+        assert np.allclose(se.lookup(ids), table[ids])
+
+    def test_comm_bytes_counted(self, rng):
+        table = rng.standard_normal((100, 8))
+        se = ShardedEmbedding(table, 4)
+        # All ids owned by the requester: no traffic.
+        se.lookup(np.arange(10), requester=0)
+        assert se.comm_bytes == 0.0
+        # Remote ids: dim * itemsize per id.
+        se.lookup(np.array([50, 51]), requester=0)
+        assert se.comm_bytes == pytest.approx(2 * 8 * table.itemsize)
+
+    def test_out_of_range(self, rng):
+        se = ShardedEmbedding(rng.standard_normal((10, 4)), 2)
+        with pytest.raises(IndexError):
+            se.lookup(np.array([10]))
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            ShardedEmbedding(rng.standard_normal(10), 2)
+        with pytest.raises(ValueError):
+            ShardedEmbedding(rng.standard_normal((10, 4)), 0)
+
+
+class TestInteractionMasking:
+    def test_gather_shape(self, rng):
+        feats = rng.standard_normal((6, 5, 7))
+        out = interaction_gather(feats)
+        assert out.shape == (6, 10)
+
+    def test_masked_shape(self, rng):
+        feats = rng.standard_normal((6, 5, 7))
+        out = interaction_masked(feats)
+        assert out.shape == (6, 25)
+
+    def test_equivalence_through_fc(self, rng):
+        """The paper's claim: masking + adjusted FC == gather exactly."""
+        feats = rng.standard_normal((4, 6, 3))
+        w = rng.standard_normal((15, 2))
+        gathered = interaction_gather(feats) @ w
+        masked = interaction_masked(feats) @ expand_weights_for_mask(w, 6)
+        assert np.allclose(gathered, masked, rtol=1e-12)
+
+    def test_masked_zeros_where_redundant(self, rng):
+        feats = rng.standard_normal((1, 3, 2))
+        out = interaction_masked(feats).reshape(3, 3)
+        assert out[0, 0] == 0.0  # diagonal
+        assert out[0, 1] == 0.0  # upper triangle
+        assert out[1, 0] != 0.0  # lower triangle kept
+
+    def test_weight_expansion_validation(self, rng):
+        with pytest.raises(ValueError):
+            expand_weights_for_mask(rng.standard_normal((9, 2)), 6)
+
+    def test_input_rank_checks(self, rng):
+        with pytest.raises(ValueError):
+            interaction_gather(rng.standard_normal((4, 5)))
+        with pytest.raises(ValueError):
+            interaction_masked(rng.standard_normal((4, 5)))

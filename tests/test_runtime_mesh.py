@@ -1,0 +1,92 @@
+"""VirtualMesh buffer management and collective dispatch."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.mesh import VirtualMesh
+
+
+class TestBuffers:
+    def test_put_get(self):
+        m = VirtualMesh(2, 2)
+        m.put("w", (1, 1), np.arange(4.0))
+        assert np.array_equal(m.get("w", (1, 1)), np.arange(4.0))
+
+    def test_put_replicated(self):
+        m = VirtualMesh(2, 3)
+        m.put_replicated("w", np.ones(5))
+        for d in m.devices():
+            assert np.array_equal(m.get("w", d), np.ones(5))
+
+    def test_replication_copies(self):
+        m = VirtualMesh(2, 1)
+        src = np.zeros(3)
+        m.put_replicated("w", src)
+        m.get("w", (0, 0))[0] = 99.0
+        assert m.get("w", (1, 0))[0] == 0.0
+
+    def test_missing_buffer(self):
+        m = VirtualMesh(1, 1)
+        with pytest.raises(KeyError):
+            m.get("nope", (0, 0))
+
+    def test_bad_device(self):
+        m = VirtualMesh(2, 2)
+        with pytest.raises(ValueError):
+            m.put("w", (2, 0), np.zeros(1))
+
+    def test_devices_order(self):
+        m = VirtualMesh(2, 2)
+        assert list(m.devices()) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_apply(self):
+        m = VirtualMesh(2, 1)
+        m.put_replicated("w", np.ones(3))
+        m.apply("w", lambda a: 2 * a)
+        assert np.array_equal(m.get("w", (1, 0)), 2 * np.ones(3))
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            VirtualMesh(0, 1)
+
+
+class TestMeshCollectives:
+    def _fill(self, m, name, size=12):
+        for i, d in enumerate(m.devices()):
+            m.put(name, d, np.full(size, float(i + 1)))
+
+    def test_flat_all_reduce(self):
+        m = VirtualMesh(4, 1)
+        self._fill(m, "g")
+        m.all_reduce("g", "f64")
+        expected = np.full(12, 1.0 + 2 + 3 + 4)
+        for d in m.devices():
+            assert np.allclose(m.get("g", d), expected)
+
+    def test_hierarchical_all_reduce(self):
+        m = VirtualMesh(2, 3)
+        self._fill(m, "g")
+        m.all_reduce("g", "f64")
+        expected = np.full(12, float(sum(range(1, 7))))
+        for d in m.devices():
+            assert np.allclose(m.get("g", d), expected)
+
+    def test_hierarchical_forced_off(self):
+        m = VirtualMesh(2, 2)
+        self._fill(m, "g")
+        m.all_reduce("g", "f64", hierarchical=False)
+        expected = np.full(12, 10.0)
+        assert np.allclose(m.get("g", (0, 0)), expected)
+
+    def test_shard_transform_needs_hierarchical(self):
+        m = VirtualMesh(4, 1)
+        self._fill(m, "g")
+        with pytest.raises(ValueError):
+            m.all_reduce("g", hierarchical=False, shard_transform=lambda s: s)
+
+    def test_fused_shard_transform(self):
+        m = VirtualMesh(2, 2)
+        self._fill(m, "g")
+        m.all_reduce("g", "f64", shard_transform=lambda s: 0.5 * s)
+        expected = np.full(12, 0.5 * 10.0)
+        assert np.allclose(m.get("g", (1, 1)), expected)

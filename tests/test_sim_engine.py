@@ -1,0 +1,229 @@
+"""Discrete-event engine tests."""
+
+import pytest
+
+from repro.sim.engine import AllOf, AnyOf, Simulator, SimulationError, Timeout
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_run_empty(self):
+        sim = Simulator()
+        assert sim.run() == 0.0
+
+    def test_run_until_advances_clock(self):
+        sim = Simulator()
+        sim.run(until=5.0)
+        assert sim.now == 5.0
+
+
+class TestTimeout:
+    def test_fires_at_delay(self):
+        sim = Simulator()
+        seen = []
+
+        def p(sim):
+            yield sim.timeout(2.5)
+            seen.append(sim.now)
+
+        sim.process(p(sim))
+        sim.run()
+        assert seen == [2.5]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.timeout(-1.0)
+
+    def test_timeout_value_delivered(self):
+        sim = Simulator()
+        seen = []
+
+        def p(sim):
+            value = yield sim.timeout(1.0, value="hello")
+            seen.append(value)
+
+        sim.process(p(sim))
+        sim.run()
+        assert seen == ["hello"]
+
+    def test_ordering_fifo_at_same_time(self):
+        sim = Simulator()
+        order = []
+
+        def p(sim, name):
+            yield sim.timeout(1.0)
+            order.append(name)
+
+        for name in "abc":
+            sim.process(p(sim, name))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+
+class TestProcess:
+    def test_sequential_waits_accumulate(self):
+        sim = Simulator()
+        times = []
+
+        def p(sim):
+            yield sim.timeout(1.0)
+            times.append(sim.now)
+            yield sim.timeout(2.0)
+            times.append(sim.now)
+
+        sim.process(p(sim))
+        sim.run()
+        assert times == [1.0, 3.0]
+
+    def test_process_is_waitable(self):
+        sim = Simulator()
+        log = []
+
+        def child(sim):
+            yield sim.timeout(3.0)
+            return "done"
+
+        def parent(sim):
+            result = yield sim.process(child(sim))
+            log.append((sim.now, result))
+
+        sim.process(parent(sim))
+        sim.run()
+        assert log == [(3.0, "done")]
+
+    def test_waiting_on_already_finished_process(self):
+        sim = Simulator()
+        log = []
+
+        def child(sim):
+            yield sim.timeout(1.0)
+            return 42
+
+        def parent(sim, child_proc):
+            yield sim.timeout(5.0)
+            value = yield child_proc
+            log.append((sim.now, value))
+
+        c = sim.process(child(sim))
+        sim.process(parent(sim, c))
+        sim.run()
+        assert log == [(5.0, 42)]
+
+    def test_yielding_non_event_raises(self):
+        sim = Simulator()
+
+        def bad(sim):
+            yield 42
+
+        sim.process(bad(sim))
+        with pytest.raises(SimulationError, match="expected an Event"):
+            sim.run()
+
+    def test_exception_in_process_propagates(self):
+        sim = Simulator()
+
+        def bad(sim):
+            yield sim.timeout(1.0)
+            raise RuntimeError("boom")
+
+        sim.process(bad(sim))
+        with pytest.raises(RuntimeError, match="boom"):
+            sim.run()
+
+
+class TestEvents:
+    def test_manual_trigger(self):
+        sim = Simulator()
+        ev = sim.event()
+        log = []
+
+        def waiter(sim):
+            value = yield ev
+            log.append((sim.now, value))
+
+        def trigger(sim):
+            yield sim.timeout(2.0)
+            ev.succeed("go")
+
+        sim.process(waiter(sim))
+        sim.process(trigger(sim))
+        sim.run()
+        assert log == [(2.0, "go")]
+
+    def test_double_trigger_rejected(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.succeed()
+
+    def test_fail_delivers_exception(self):
+        sim = Simulator()
+        ev = sim.event()
+        caught = []
+
+        def waiter(sim):
+            try:
+                yield ev
+            except ValueError as exc:
+                caught.append(str(exc))
+
+        def trigger(sim):
+            yield sim.timeout(1.0)
+            ev.fail(ValueError("nope"))
+
+        sim.process(waiter(sim))
+        sim.process(trigger(sim))
+        sim.run()
+        assert caught == ["nope"]
+
+    def test_value_before_trigger_raises(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            _ = sim.event().value
+
+
+class TestCombinators:
+    def test_all_of_waits_for_slowest(self):
+        sim = Simulator()
+        log = []
+
+        def p(sim):
+            values = yield sim.all_of([sim.timeout(1.0, "a"), sim.timeout(3.0, "b")])
+            log.append((sim.now, values))
+
+        sim.process(p(sim))
+        sim.run()
+        assert log == [(3.0, ["a", "b"])]
+
+    def test_all_of_empty(self):
+        sim = Simulator()
+        log = []
+
+        def p(sim):
+            yield sim.all_of([])
+            log.append(sim.now)
+
+        sim.process(p(sim))
+        sim.run()
+        assert log == [0.0]
+
+    def test_any_of_fires_on_first(self):
+        sim = Simulator()
+        log = []
+
+        def p(sim):
+            value = yield sim.any_of([sim.timeout(5.0, "slow"), sim.timeout(1.0, "fast")])
+            log.append((sim.now, value))
+
+        sim.process(p(sim))
+        sim.run()
+        assert log == [(1.0, "fast")]
+
+    def test_any_of_empty_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.any_of([])

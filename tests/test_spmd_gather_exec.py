@@ -1,0 +1,122 @@
+"""Functional gather-as-matmul and distributed top-k tests (§4.5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spmd.gather_exec import (
+    distributed_topk,
+    gather_as_onehot_matmul,
+    onehot_matrix,
+    sharded_onehot_gather,
+    topk_direct,
+)
+
+
+class TestOnehotGather:
+    def test_matches_direct_indexing(self, rng):
+        table = rng.standard_normal((50, 7))
+        ids = rng.integers(0, 50, 20)
+        assert np.allclose(gather_as_onehot_matmul(table, ids), table[ids])
+
+    def test_repeated_ids(self, rng):
+        table = rng.standard_normal((10, 3))
+        ids = np.array([2, 2, 2])
+        out = gather_as_onehot_matmul(table, ids)
+        assert np.allclose(out, np.tile(table[2], (3, 1)))
+
+    def test_onehot_matrix_rows(self):
+        m = onehot_matrix(np.array([1, 0]), 3)
+        assert np.array_equal(m, [[0, 1, 0], [1, 0, 0]])
+
+    def test_out_of_range(self, rng):
+        with pytest.raises(IndexError):
+            onehot_matrix(np.array([5]), 3)
+
+    def test_bad_shapes(self, rng):
+        with pytest.raises(ValueError):
+            gather_as_onehot_matmul(rng.standard_normal(10), np.array([0]))
+        with pytest.raises(ValueError):
+            onehot_matrix(np.zeros((2, 2), int), 5)
+
+
+class TestShardedOnehotGather:
+    @pytest.mark.parametrize("m", [1, 2, 4])
+    def test_matches_direct(self, m, rng):
+        table = rng.standard_normal((41, 5))  # uneven split
+        shards = np.array_split(table, m)
+        ids = rng.integers(0, 41, 16)
+        out = sharded_onehot_gather(list(shards), ids)
+        assert np.allclose(out, table[ids], rtol=1e-12)
+
+    def test_all_ids_on_one_shard(self, rng):
+        table = rng.standard_normal((20, 4))
+        shards = np.array_split(table, 4)
+        ids = np.array([0, 1, 2])  # all on shard 0
+        assert np.allclose(sharded_onehot_gather(list(shards), ids), table[ids])
+
+    def test_range_check(self, rng):
+        shards = [rng.standard_normal((5, 2)), rng.standard_normal((5, 2))]
+        with pytest.raises(IndexError):
+            sharded_onehot_gather(shards, np.array([10]))
+
+    def test_empty_shards_rejected(self):
+        with pytest.raises(ValueError):
+            sharded_onehot_gather([], np.array([0]))
+
+
+class TestTopk:
+    def test_direct_known(self):
+        v, i = topk_direct(np.array([3.0, 1.0, 4.0, 1.0, 5.0]), 2)
+        assert np.array_equal(v, [5.0, 4.0])
+        assert np.array_equal(i, [4, 2])
+
+    def test_direct_ties_prefer_lower_index(self):
+        v, i = topk_direct(np.array([7.0, 7.0, 1.0]), 2)
+        assert np.array_equal(i, [0, 1])
+
+    def test_direct_k_validation(self):
+        with pytest.raises(ValueError):
+            topk_direct(np.array([1.0]), 2)
+
+    @pytest.mark.parametrize("m", [1, 2, 3, 5])
+    def test_distributed_matches_direct(self, m, rng):
+        values = rng.standard_normal(47)
+        shards = np.array_split(values, m)
+        for k in (1, 5, 20):
+            dv, di = distributed_topk(list(shards), k)
+            ev, ei = topk_direct(values, k)
+            assert np.array_equal(dv, ev)
+            assert np.array_equal(di, ei)
+
+    def test_distributed_with_ties(self):
+        values = np.array([2.0, 9.0, 9.0, 2.0, 9.0, 0.0])
+        dv, di = distributed_topk([values[:3], values[3:]], 3)
+        ev, ei = topk_direct(values, 3)
+        assert np.array_equal(dv, ev)
+        assert np.array_equal(di, ei)
+
+    def test_k_larger_than_some_shards(self, rng):
+        shards = [rng.standard_normal(2), rng.standard_normal(30)]
+        dv, di = distributed_topk(shards, 10)
+        ev, ei = topk_direct(np.concatenate(shards), 10)
+        assert np.array_equal(di, ei)
+
+    @given(
+        n=st.integers(4, 80),
+        m=st.integers(1, 6),
+        k=st.integers(1, 10),
+        seed=st.integers(0, 2**31),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_distributed_equals_direct(self, n, m, k, seed):
+        if k > n or m > n:
+            return
+        rng = np.random.default_rng(seed)
+        values = rng.standard_normal(n)
+        shards = np.array_split(values, m)
+        dv, di = distributed_topk(list(shards), k)
+        ev, ei = topk_direct(values, k)
+        assert np.array_equal(dv, ev)
+        assert np.array_equal(di, ei)

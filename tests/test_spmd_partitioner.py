@@ -1,0 +1,200 @@
+"""SPMD partitioner tests: propagation rules and communication insertion."""
+
+import pytest
+
+from repro.spmd.annotations import Sharding, partial, replicated, split
+from repro.spmd.ir import Graph
+from repro.spmd.modelgraphs import (
+    maskrcnn_graph,
+    spatial_seeds,
+    ssd_graph,
+    transformer_block_graph,
+    transformer_seeds,
+)
+from repro.spmd.partitioner import (
+    V06_FEATURES,
+    V07_FEATURES,
+    partition,
+)
+
+
+class TestAnnotations:
+    def test_factories(self):
+        assert replicated(4).replicated
+        assert split(4, 1).dim == 1
+        assert partial(4).partial
+
+    def test_tile_fraction(self):
+        assert replicated(4).tile_fraction() == 1.0
+        assert split(4, 0).tile_fraction() == 0.25
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            Sharding(num_shards=0)
+        with pytest.raises(ValueError):
+            Sharding(num_shards=2, dim=1, partial=True)
+        with pytest.raises(ValueError):
+            split(4, -1)
+
+    def test_describe(self):
+        assert "replicated" in replicated(2).describe()
+        assert "split" in split(2, 0).describe()
+        assert "partial" in partial(2).describe()
+
+
+class TestConvPropagation:
+    def _graph(self):
+        g = Graph()
+        x = g.input((1, 64, 64, 3), name="image")
+        w = g.parameter((3, 3, 3, 16))
+        y = g.conv2d(x, w)
+        g.handles = {"image": x, "y": y}
+        return g
+
+    def test_spatial_split_propagates_with_halo(self):
+        g = self._graph()
+        pg = partition(g, {g.handles["image"]: split(4, 1)}, 4)
+        assert pg.shardings[g.handles["y"]].dim == 1
+        halos = [c for c in pg.comm_ops if c.kind == "halo"]
+        assert len(halos) == 1
+        # 2 sides x 1 halo row x 64 cols x 3 channels x 2 bytes.
+        assert halos[0].bytes_per_shard == pytest.approx(2 * 1 * 64 * 3 * 2)
+
+    def test_1x1_conv_no_halo(self):
+        g = Graph()
+        x = g.input((1, 64, 64, 8), name="image")
+        w = g.parameter((1, 1, 8, 16))
+        g.conv2d(x, w)
+        pg = partition(g, {x: split(4, 1)}, 4)
+        assert not [c for c in pg.comm_ops if c.kind == "halo"]
+
+    def test_batch_split_free(self):
+        g = self._graph()
+        pg = partition(g, {g.handles["image"]: split(4, 0)}, 4)
+        assert pg.comm_ops == []
+        assert pg.shardings[g.handles["y"]].dim == 0
+
+    def test_replicated_conv(self):
+        g = self._graph()
+        pg = partition(g, {}, 4)
+        assert pg.shardings[g.handles["y"]].replicated
+        assert pg.comm_ops == []
+
+    def test_v06_halo_pays_double_steps(self):
+        g = self._graph()
+        seeds = {g.handles["image"]: split(4, 1)}
+        v07 = partition(self._graph(), {0: split(4, 1)}, 4, V07_FEATURES)
+        v06 = partition(self._graph(), {0: split(4, 1)}, 4, V06_FEATURES)
+        h07 = [c for c in v07.comm_ops if c.kind == "halo"][0]
+        h06 = [c for c in v06.comm_ops if c.kind == "halo"][0]
+        assert h06.steps == 2 * h07.steps
+
+
+class TestMatmulPropagation:
+    def test_contracting_split_yields_partial(self):
+        g = Graph()
+        a = g.input((8, 16))
+        b = g.parameter((16, 4))
+        y = g.matmul(a, b)
+        pg = partition(g, {b: split(4, 0)}, 4)
+        assert pg.compute_shardings[y].partial
+
+    def test_partial_resolved_with_allreduce_at_use(self):
+        g = Graph()
+        a = g.input((8, 16))
+        b = g.parameter((16, 4))
+        y = g.matmul(a, b)
+        z = g.elementwise(y, "relu")
+        pg = partition(g, {b: split(4, 0)}, 4)
+        ars = [c for c in pg.comm_ops if c.kind == "all_reduce"]
+        assert len(ars) == 1
+        assert ars[0].node_id == y
+        assert pg.shardings[y].replicated  # after resolution
+        assert pg.compute_shardings[y].partial  # at compute time
+
+    def test_output_column_split(self):
+        g = Graph()
+        a = g.input((8, 16))
+        b = g.parameter((16, 8))
+        y = g.matmul(a, b)
+        pg = partition(g, {b: split(4, 1)}, 4)
+        assert pg.shardings[y].dim == 1
+        assert pg.comm_ops == []
+
+    def test_row_split_of_activation(self):
+        g = Graph()
+        a = g.input((8, 16))
+        b = g.parameter((16, 8))
+        y = g.matmul(a, b)
+        pg = partition(g, {a: split(4, 0)}, 4)
+        assert pg.shardings[y].dim == 0
+
+
+class TestGatherTopk:
+    def _graph(self):
+        g = Graph()
+        scores = g.input((1, 1024), name="scores")
+        top = g.topk(scores, 16)
+        g.gather(top, 16, 64)
+        g.handles = {"scores": scores, "top": top}
+        return g
+
+    def test_v07_partitions_both(self):
+        g = self._graph()
+        pg = partition(g, {g.handles["scores"]: split(4, 1)}, 4, V07_FEATURES)
+        assert not pg.serial_nodes
+
+    def test_v06_serializes_both(self):
+        g = self._graph()
+        pg = partition(g, {g.handles["scores"]: split(4, 1)}, 4, V06_FEATURES)
+        assert len(pg.serial_nodes) == 2
+        gathers = [c for c in pg.comm_ops if c.kind == "all_gather"]
+        assert gathers  # the sharded operand had to be gathered
+
+
+class TestTrivialAndErrors:
+    def test_num_shards_one_all_replicated(self):
+        g = ssd_graph()
+        pg = partition(g, {}, 1)
+        assert all(s.replicated for s in pg.shardings.values())
+        assert pg.comm_ops == []
+
+    def test_seed_shard_count_mismatch(self):
+        g = Graph()
+        x = g.input((4, 4))
+        with pytest.raises(ValueError, match="shards"):
+            partition(g, {x: split(2, 0)}, 4)
+
+    def test_invalid_num_shards(self):
+        with pytest.raises(ValueError):
+            partition(Graph(), {}, 0)
+
+    def test_comm_accounting_helpers(self):
+        g = transformer_block_graph()
+        pg = partition(g, transformer_seeds(g, 4), 4)
+        by_kind = pg.comm_by_kind()
+        assert pg.comm_bytes() == pytest.approx(sum(by_kind.values()))
+        assert "all_reduce" in by_kind
+
+
+class TestModelGraphs:
+    def test_ssd_builds_and_partitions(self):
+        g = ssd_graph()
+        pg = partition(g, spatial_seeds(g, 8), 8)
+        assert any(c.kind == "halo" for c in pg.comm_ops)
+
+    def test_maskrcnn_builds_and_partitions(self):
+        g = maskrcnn_graph()
+        pg = partition(g, spatial_seeds(g, 8), 8)
+        assert any(c.kind == "halo" for c in pg.comm_ops)
+
+    def test_transformer_feature_sharding_inserts_allreduce(self):
+        g = transformer_block_graph()
+        pg = partition(g, transformer_seeds(g, 4), 4)
+        ars = [c for c in pg.comm_ops if c.kind == "all_reduce"]
+        # embedding (vocab-contracting), attention out proj, ffn_mm2.
+        assert len(ars) >= 3
+
+    def test_spatial_seeds_identity_at_one(self):
+        g = ssd_graph()
+        assert spatial_seeds(g, 1) == {}

@@ -1,0 +1,143 @@
+"""Functional spatial-partitioning tests: sharded conv == direct conv."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spmd.spatial_exec import (
+    conv2d_direct,
+    halo_exchange,
+    shard_height,
+    spatial_conv2d,
+    spatial_conv_stack,
+    unshard_height,
+)
+
+
+def _conv_inputs(rng, h=12, w=10, cin=3, cout=5, k=3):
+    x = rng.standard_normal((2, h, w, cin))
+    weight = rng.standard_normal((k, k, cin, cout)) * 0.2
+    return x, weight
+
+
+class TestDirectConv:
+    def test_identity_kernel(self, rng):
+        x = rng.standard_normal((1, 6, 6, 2))
+        w = np.zeros((3, 3, 2, 2))
+        w[1, 1] = np.eye(2)
+        assert np.allclose(conv2d_direct(x, w), x)
+
+    def test_shapes(self, rng):
+        x, w = _conv_inputs(rng)
+        assert conv2d_direct(x, w).shape == (2, 12, 10, 5)
+
+    def test_even_kernel_rejected(self, rng):
+        x = rng.standard_normal((1, 6, 6, 2))
+        with pytest.raises(ValueError):
+            conv2d_direct(x, np.zeros((2, 2, 2, 2)))
+
+    def test_channel_mismatch(self, rng):
+        x = rng.standard_normal((1, 6, 6, 2))
+        with pytest.raises(ValueError):
+            conv2d_direct(x, np.zeros((3, 3, 4, 2)))
+
+
+class TestSharding:
+    def test_roundtrip(self, rng):
+        x = rng.standard_normal((2, 11, 5, 3))
+        assert np.array_equal(unshard_height(shard_height(x, 4)), x)
+
+    def test_ceiling_split(self, rng):
+        x = rng.standard_normal((1, 11, 5, 3))
+        rows = [s.shape[1] for s in shard_height(x, 4)]
+        assert rows == [3, 3, 3, 2]
+
+    def test_too_many_shards(self, rng):
+        x = rng.standard_normal((1, 4, 5, 3))
+        with pytest.raises(ValueError):
+            shard_height(x, 8)
+
+
+class TestHaloExchange:
+    def test_rows_from_neighbors(self, rng):
+        x = rng.standard_normal((1, 8, 4, 2))
+        shards = shard_height(x, 2)
+        padded, moved = halo_exchange(shards, 1)
+        # Shard 0's bottom halo is shard 1's first row.
+        assert np.array_equal(padded[0][:, -1], shards[1][:, 0])
+        # Shard 1's top halo is shard 0's last row.
+        assert np.array_equal(padded[1][:, 0], shards[0][:, -1])
+        # Outer edges zero (SAME padding semantics).
+        assert np.all(padded[0][:, 0] == 0)
+        assert np.all(padded[1][:, -1] == 0)
+
+    def test_bytes_counted(self, rng):
+        x = rng.standard_normal((1, 8, 4, 2))
+        shards = shard_height(x, 4)
+        _, moved = halo_exchange(shards, 1)
+        # 3 interior boundaries x 2 directions x one row of 4x2 float64.
+        assert moved == 6 * 4 * 2 * 8
+
+    def test_zero_halo(self, rng):
+        x = rng.standard_normal((1, 8, 4, 2))
+        shards = shard_height(x, 2)
+        padded, moved = halo_exchange(shards, 0)
+        assert moved == 0.0
+        assert np.array_equal(padded[0], shards[0])
+
+
+class TestShardedConv:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    def test_matches_direct(self, k, rng):
+        x, w = _conv_inputs(rng)
+        expected = conv2d_direct(x, w)
+        shards, _ = spatial_conv2d(shard_height(x, k), w)
+        assert np.allclose(unshard_height(shards), expected, rtol=1e-12)
+
+    def test_5x5_kernel(self, rng):
+        x, _ = _conv_inputs(rng, h=16)
+        w = rng.standard_normal((5, 5, 3, 4)) * 0.1
+        expected = conv2d_direct(x, w)
+        shards, moved = spatial_conv2d(shard_height(x, 4), w)
+        assert np.allclose(unshard_height(shards), expected, rtol=1e-12)
+        assert moved > 0
+
+    def test_stack_matches_direct(self, rng):
+        """Multi-layer: halo exchange before every conv, relu between."""
+        x, _ = _conv_inputs(rng, h=15)
+        weights = [
+            rng.standard_normal((3, 3, 3, 6)) * 0.2,
+            rng.standard_normal((3, 3, 6, 6)) * 0.2,
+            rng.standard_normal((5, 5, 6, 4)) * 0.1,
+        ]
+        direct = x
+        for i, w in enumerate(weights):
+            direct = conv2d_direct(direct, w)
+            if i + 1 < len(weights):
+                direct = np.maximum(direct, 0.0)
+        sharded, moved = spatial_conv_stack(x, weights, 3)
+        assert np.allclose(sharded, direct, rtol=1e-10)
+        assert moved > 0
+
+    def test_halo_traffic_grows_with_shards(self, rng):
+        x, w = _conv_inputs(rng, h=24)
+        _, moved2 = spatial_conv2d(shard_height(x, 2), w)
+        _, moved4 = spatial_conv2d(shard_height(x, 4), w)
+        assert moved4 > moved2
+
+    @given(
+        h=st.integers(6, 20),
+        k=st.integers(1, 4),
+        seed=st.integers(0, 2**31),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_sharded_equals_direct(self, h, k, seed):
+        if k > h:
+            return
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((1, h, 6, 2))
+        w = rng.standard_normal((3, 3, 2, 3)) * 0.3
+        expected = conv2d_direct(x, w)
+        shards, _ = spatial_conv2d(shard_height(x, k), w)
+        assert np.allclose(unshard_height(shards), expected, rtol=1e-10)
