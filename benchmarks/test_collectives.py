@@ -1,17 +1,35 @@
-"""Benchmark: functional collective kernels on the virtual mesh."""
+"""Benchmark: functional collective kernels on the virtual mesh.
+
+Every vectorized kernel is benchmarked next to its step-by-step
+``_reference_*`` twin (kept in :mod:`repro.runtime.collectives` as the
+bit-identity oracle), so a single ``--benchmark-enable`` run produces the
+before/after speedup table that ``benchmarks/run_benchmarks.py`` writes to
+``BENCH_collectives.json``.  The 256-device case guards the scaling claim:
+a full ring all-reduce at pod scale must stay under two seconds.
+"""
+
+import time
 
 import numpy as np
 import pytest
 
-from repro.runtime.collectives import ring_all_reduce, two_phase_all_reduce
+from repro.runtime.bucket import GradientBucket
+from repro.runtime.collectives import (
+    _reference_ring_all_reduce,
+    _reference_two_phase_all_reduce,
+    ring_all_reduce,
+    two_phase_all_reduce,
+)
 
 SIZE = 1 << 16
+DEVICES = 16
+BIG_DEVICES = 256
 
 
 @pytest.fixture(scope="module")
 def ring_inputs():
     rng = np.random.default_rng(0)
-    return [rng.standard_normal(SIZE).astype(np.float32) for _ in range(16)]
+    return [rng.standard_normal(SIZE).astype(np.float32) for _ in range(DEVICES)]
 
 
 @pytest.fixture(scope="module")
@@ -23,20 +41,91 @@ def grid_inputs():
     ]
 
 
+@pytest.fixture(scope="module")
+def big_ring_inputs():
+    rng = np.random.default_rng(1)
+    return [
+        rng.standard_normal(SIZE).astype(np.float32) for _ in range(BIG_DEVICES)
+    ]
+
+
+@pytest.fixture(scope="module")
+def bucket_trees():
+    rng = np.random.default_rng(2)
+    shapes = {
+        "w0": (128, 256), "b0": (256,), "w1": (256, 96), "b1": (96,),
+        "w2": (96, 64), "b2": (64,),
+    }
+    return [
+        {k: rng.standard_normal(v).astype(np.float32) for k, v in shapes.items()}
+        for _ in range(DEVICES)
+    ]
+
+
+def _annotate(benchmark, devices, payload):
+    benchmark.extra_info["devices"] = devices
+    benchmark.extra_info["payload_floats"] = payload
+
+
 def test_ring_all_reduce_f32(benchmark, ring_inputs):
+    _annotate(benchmark, DEVICES, SIZE)
     out = benchmark(ring_all_reduce, ring_inputs, "f32")
     truth = np.sum(ring_inputs, axis=0, dtype=np.float64)
     assert np.allclose(out[0], truth, rtol=1e-4, atol=1e-3)
 
 
+def test_ring_all_reduce_f32_reference(benchmark, ring_inputs):
+    _annotate(benchmark, DEVICES, SIZE)
+    out = benchmark(_reference_ring_all_reduce, ring_inputs, "f32")
+    truth = np.sum(ring_inputs, axis=0, dtype=np.float64)
+    assert np.allclose(out[0], truth, rtol=1e-4, atol=1e-3)
+
+
 def test_ring_all_reduce_bf16(benchmark, ring_inputs):
+    _annotate(benchmark, DEVICES, SIZE)
     out = benchmark(ring_all_reduce, ring_inputs, "bf16")
     truth = np.sum(ring_inputs, axis=0, dtype=np.float64)
     assert np.allclose(out[0], truth, rtol=0.2, atol=0.5)
 
 
+def test_ring_all_reduce_bf16_reference(benchmark, ring_inputs):
+    _annotate(benchmark, DEVICES, SIZE)
+    out = benchmark(_reference_ring_all_reduce, ring_inputs, "bf16")
+    truth = np.sum(ring_inputs, axis=0, dtype=np.float64)
+    assert np.allclose(out[0], truth, rtol=0.2, atol=0.5)
+
+
 def test_two_phase_all_reduce(benchmark, grid_inputs):
+    _annotate(benchmark, DEVICES, SIZE)
     out = benchmark(two_phase_all_reduce, grid_inputs, "f32")
     truth = np.sum([g for col in grid_inputs for g in col], axis=0,
                    dtype=np.float64)
     assert np.allclose(out[0][0], truth, rtol=1e-4, atol=1e-3)
+
+
+def test_two_phase_all_reduce_reference(benchmark, grid_inputs):
+    _annotate(benchmark, DEVICES, SIZE)
+    out = benchmark(_reference_two_phase_all_reduce, grid_inputs, "f32")
+    truth = np.sum([g for col in grid_inputs for g in col], axis=0,
+                   dtype=np.float64)
+    assert np.allclose(out[0][0], truth, rtol=1e-4, atol=1e-3)
+
+
+def test_ring_all_reduce_f32_256dev(benchmark, big_ring_inputs):
+    """Pod-scale ring: 256 devices x 64K floats must finish in < 2 s."""
+    _annotate(benchmark, BIG_DEVICES, SIZE)
+    out = benchmark(ring_all_reduce, big_ring_inputs, "f32")
+    truth = np.sum(big_ring_inputs, axis=0, dtype=np.float64)
+    assert np.allclose(out[0], truth, rtol=1e-3, atol=1e-2)
+    start = time.perf_counter()
+    ring_all_reduce(big_ring_inputs, "f32")
+    assert time.perf_counter() - start < 2.0
+
+
+def test_bucketed_all_reduce(benchmark, bucket_trees):
+    """One fused collective for a whole parameter tree (the trainer path)."""
+    bucket = GradientBucket(bucket_trees[0])
+    _annotate(benchmark, DEVICES, bucket.size)
+    out = benchmark(bucket.all_reduce, bucket_trees, "f32")
+    truth = np.sum([t["b0"] for t in bucket_trees], axis=0, dtype=np.float64)
+    assert np.allclose(out[0]["b0"], truth, rtol=1e-4, atol=1e-3)

@@ -13,6 +13,8 @@ chunk to its ring neighbor, with a barrier between steps.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from repro.hardware.rings import Ring
 from repro.hardware.topology import Coordinate, TorusMesh
 from repro.sim.engine import Simulator
@@ -40,12 +42,16 @@ def _send_chunk(channels, segment, chunk_bytes: float):
         yield from channels[(link.src, link.dst)].transfer(chunk_bytes)
 
 
-def _ring_phase(sim: Simulator, channels, mesh: TorusMesh, ring: Ring,
-                payload_bytes: float, reverse: bool):
-    """One direction of a ring phase: n-1 synchronous chunk-forward steps."""
-    n = ring.size
-    steps = n - 1
-    chunk = payload_bytes / n
+@lru_cache(maxsize=512)
+def _ring_segments(
+    mesh: TorusMesh, ring: Ring, reverse: bool
+) -> tuple[tuple, ...]:
+    """Link segments of one ring direction, cached.
+
+    ``TorusMesh`` and ``Ring`` are frozen/hashable, and sweeps replay the
+    same (mesh, ring) pairs for every payload point — recomputing the
+    per-member link paths dominated small-payload simulations.
+    """
     segments = ring.segments(mesh)
     if reverse:
         # Reverse direction: send along each segment's links flipped.
@@ -53,6 +59,16 @@ def _ring_phase(sim: Simulator, channels, mesh: TorusMesh, ring: Ring,
             [mesh.link_between(l.dst, l.src) for l in reversed(seg)]
             for seg in segments
         ]
+    return tuple(tuple(seg) for seg in segments)
+
+
+def _ring_phase(sim: Simulator, channels, mesh: TorusMesh, ring: Ring,
+                payload_bytes: float, reverse: bool):
+    """One direction of a ring phase: n-1 synchronous chunk-forward steps."""
+    n = ring.size
+    steps = n - 1
+    chunk = payload_bytes / n
+    segments = _ring_segments(mesh, ring, reverse)
     for _ in range(steps):
         sends = []
         for seg in segments:

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.models.mlp import MLP
 from repro.optim.base import Optimizer, OptimizerState, Params
+from repro.runtime.bucket import GradientBucket
 from repro.runtime.collectives import ring_all_reduce, two_phase_all_reduce
 
 
@@ -93,6 +94,7 @@ class DataParallelTrainer:
         self.params: Params | None = None
         self.state: OptimizerState | None = None
         self.step_index = 0
+        self._bucket: GradientBucket | None = None
 
     @property
     def num_replicas(self) -> int:
@@ -103,6 +105,7 @@ class DataParallelTrainer:
         self.params = self.model.init_params(rng)
         self.state = self.optimizer.init_state(self.params)
         self.step_index = 0
+        self._bucket = None
 
     def _split(self, x: np.ndarray, labels: np.ndarray):
         n = self.num_replicas
@@ -113,23 +116,33 @@ class DataParallelTrainer:
         return np.split(x, n), np.split(labels, n)
 
     def _summed_mean_grads(self, per_replica_grads: list[dict]) -> dict:
-        """Run the real collective over each gradient tensor."""
+        """One fused collective over all gradient tensors at once.
+
+        Each replica's gradients are packed into a single contiguous bucket
+        buffer (layout cached across steps) and scaled by ``1/n`` so the
+        collective yields the mean over the global batch; a single ring or
+        2-D hierarchical all-reduce then moves the whole model's gradients,
+        and the result is unpacked into zero-copy per-parameter views.
+        """
         n = self.num_replicas
-        out: dict[str, np.ndarray] = {}
-        for name in per_replica_grads[0]:
+        bucket = self._bucket
+        if bucket is None:
+            bucket = self._bucket = GradientBucket(per_replica_grads[0])
+        buffers = [bucket.flatten(g) for g in per_replica_grads]
+        for buf in buffers:
             # Replicas contribute grad/n so the collective yields the mean
             # over the global batch (each replica loss is a micro-batch mean).
-            contribs = [g[name] / n for g in per_replica_grads]
-            if self.dp_x > 1 and self.dp_y > 1:
-                grid = [
-                    [contribs[x * self.dp_y + y] for y in range(self.dp_y)]
-                    for x in range(self.dp_x)
-                ]
-                reduced = two_phase_all_reduce(grid, self.grad_dtype_policy)
-                out[name] = reduced[0][0]
-            else:
-                out[name] = ring_all_reduce(contribs, self.grad_dtype_policy)[0]
-        return out
+            buf /= n
+        if self.dp_x > 1 and self.dp_y > 1:
+            grid = [
+                [buffers[x * self.dp_y + y] for y in range(self.dp_y)]
+                for x in range(self.dp_x)
+            ]
+            reduced = two_phase_all_reduce(grid, self.grad_dtype_policy)
+            flat = reduced[0][0]
+        else:
+            flat = ring_all_reduce(buffers, self.grad_dtype_policy)[0]
+        return bucket.unflatten(flat)
 
     def step(self, x: np.ndarray, labels: np.ndarray) -> float:
         """One synchronous data-parallel step on the global batch."""

@@ -24,8 +24,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.optim.base import Optimizer, OptimizerState, Params
+from repro.runtime.bucket import GradientBucket
 from repro.runtime.collectives import (
     ShardedValue,
+    padded_chunk_layout,
     ring_all_gather,
     ring_reduce_scatter,
 )
@@ -131,12 +133,117 @@ def sharded_update(
     return new_params, new_states
 
 
+def shard_state_segments(
+    state: OptimizerState, bucket: GradientBucket, num_devices: int
+) -> list[OptimizerState]:
+    """Shard optimizer slots along the *fused* bucket layout.
+
+    Device ``d`` holds, for every parameter overlapping its fused
+    reduce-scatter window, the slot values of exactly that segment —
+    zero-copy views into the replicated slots (segments of distinct devices
+    are disjoint, so no aliasing between devices).
+    """
+    if num_devices < 1:
+        raise ValueError("num_devices must be >= 1")
+    per_device: list[OptimizerState] = [dict() for _ in range(num_devices)]
+    for d, segs in enumerate(bucket.shard_segments(num_devices)):
+        for seg in segs:
+            slots = state[seg.name]
+            per_device[d][seg.name] = {
+                slot: arr.reshape(-1)[seg.tensor_slice] for slot, arr in slots.items()
+            }
+    return per_device
+
+
+def bucketed_sharded_update(
+    params: Params,
+    per_device_grads: list[dict[str, np.ndarray]],
+    optimizer: Optimizer,
+    sharded_state: list[OptimizerState],
+    step: int,
+    bucket: GradientBucket,
+    dtype_policy: str = "f64",
+) -> tuple[Params, list[OptimizerState]]:
+    """One weight-update-sharded step with *fused* gradient buckets.
+
+    Same math as :func:`sharded_update` but the whole model travels in a
+    single pair of collectives: every device's gradients are flattened into
+    one bucket buffer, ONE reduce-scatter leaves each device a contiguous
+    window of the fused buffer (generally spanning several parameters), the
+    per-layer trust-ratio norms are accumulated per *segment*, and ONE
+    all-gather broadcasts the updated fused weights.  ``sharded_state`` must
+    come from :func:`shard_state_segments` with the same bucket; the bucket
+    should be float64 so the update math matches the unfused path.
+    """
+    n = len(per_device_grads)
+    if n < 1:
+        raise ValueError("need at least one device")
+    if len(sharded_state) != n:
+        raise ValueError("sharded_state must have one entry per device")
+    flat_params = bucket.flatten(params)
+    # 1. ONE fused reduce-scatter over the whole model's gradients.
+    sharded = ring_reduce_scatter(
+        [bucket.flatten(g) for g in per_device_grads], dtype_policy
+    )
+    grad_shards = sharded.shards
+    windows = bucket.shard_segments(n)
+    # 2a. per-segment partial norms, summed per layer across devices (the
+    #     tiny scalar all-reduce of the unfused path, now over segments).
+    stats: dict[str, dict[str, float]] = {name: {} for name in bucket.names}
+    for d in range(n):
+        for seg in windows[d]:
+            partial = optimizer.norm_stats(
+                seg.name,
+                flat_params[seg.bucket_slice],
+                grad_shards[d][seg.local_slice].astype(np.float64),
+                sharded_state[d][seg.name],
+                step,
+            )
+            acc = stats[seg.name]
+            for key, value in partial.items():
+                acc[key] = acc.get(key, 0.0) + value
+    # 2b. segment-local elementwise update into per-device chunk buffers.
+    _, chunk = padded_chunk_layout(n, bucket.size)
+    new_chunks = [np.zeros(chunk, dtype=np.float64) for _ in range(n)]
+    new_states: list[OptimizerState] = [dict() for _ in range(n)]
+    for d in range(n):
+        for seg in windows[d]:
+            new_vals, new_slot = optimizer.apply(
+                seg.name,
+                flat_params[seg.bucket_slice],
+                grad_shards[d][seg.local_slice].astype(np.float64),
+                sharded_state[d][seg.name],
+                step,
+                stats[seg.name],
+            )
+            new_chunks[d][seg.local_slice] = np.asarray(new_vals, dtype=np.float64)
+            new_states[d][seg.name] = new_slot
+    # 3. ONE fused all-gather of the updated weight shards.
+    gathered = ring_all_gather(
+        ShardedValue(
+            shards=new_chunks, shape=(bucket.size,), padded_size=n * chunk
+        )
+    )
+    new_flat = gathered[0]
+    new_params = {
+        name: new_flat[bucket.slice_of(name)]
+        .reshape(bucket.shapes[name])
+        .astype(params[name].dtype)
+        for name in bucket.names
+    }
+    return new_params, new_states
+
+
 class WeightUpdateShardedTrainer(DataParallelTrainer):
     """Data-parallel trainer with the sharded optimizer update.
 
     Same training semantics as :class:`DataParallelTrainer`; the difference
     is purely in how the update executes — which is the paper's point: WUS
     is a systems optimization that must not change the math.
+
+    ``fused=True`` (the default) runs the bucketed variant: one
+    reduce-scatter + one all-gather for the whole model instead of one pair
+    per parameter, with optimizer slots sharded along the fused layout.
     """
 
     def __init__(
@@ -145,17 +252,25 @@ class WeightUpdateShardedTrainer(DataParallelTrainer):
         optimizer: Optimizer,
         num_replicas: int,
         grad_dtype_policy: str = "f64",
+        fused: bool = True,
     ) -> None:
         super().__init__(
             model, optimizer, dp_x=num_replicas, dp_y=1,
             grad_dtype_policy=grad_dtype_policy,
         )
+        self.fused = fused
         self.sharded_state: list[OptimizerState] | None = None
 
     def init(self, rng: np.random.Generator) -> None:
         super().init(rng)
         assert self.state is not None
-        self.sharded_state = shard_states(self.state, self.num_replicas)
+        if self.fused:
+            self._bucket = GradientBucket(self.params, dtype=np.float64)
+            self.sharded_state = shard_state_segments(
+                self.state, self._bucket, self.num_replicas
+            )
+        else:
+            self.sharded_state = shard_states(self.state, self.num_replicas)
         self.state = None  # slots only exist sharded from here on
 
     def step(self, x: np.ndarray, labels: np.ndarray) -> float:
@@ -170,13 +285,25 @@ class WeightUpdateShardedTrainer(DataParallelTrainer):
             losses.append(loss_i)
             # Pre-scale so the reduce-scatter sum is the global mean.
             grads.append({k: v / n for k, v in g_i.items()})
-        self.params, self.sharded_state = sharded_update(
-            self.params,
-            grads,
-            self.optimizer,
-            self.sharded_state,
-            self.step_index,
-            self.grad_dtype_policy,
-        )
+        if self.fused:
+            assert self._bucket is not None
+            self.params, self.sharded_state = bucketed_sharded_update(
+                self.params,
+                grads,
+                self.optimizer,
+                self.sharded_state,
+                self.step_index,
+                self._bucket,
+                self.grad_dtype_policy,
+            )
+        else:
+            self.params, self.sharded_state = sharded_update(
+                self.params,
+                grads,
+                self.optimizer,
+                self.sharded_state,
+                self.step_index,
+                self.grad_dtype_policy,
+            )
         self.step_index += 1
         return float(np.mean(losses))

@@ -11,6 +11,7 @@ data-parallel / model-parallel / weight-update-sharding trainers in
 
 from repro.runtime.collectives import (
     ShardedValue,
+    padded_chunk_layout,
     ring_reduce_scatter,
     ring_all_gather,
     ring_all_reduce,
@@ -18,15 +19,19 @@ from repro.runtime.collectives import (
     reduce_scatter_grid,
     all_gather_grid,
 )
+from repro.runtime.bucket import BucketSegment, GradientBucket
 from repro.runtime.mesh import VirtualMesh
 
 __all__ = [
     "ShardedValue",
+    "padded_chunk_layout",
     "ring_reduce_scatter",
     "ring_all_gather",
     "ring_all_reduce",
     "two_phase_all_reduce",
     "reduce_scatter_grid",
     "all_gather_grid",
+    "BucketSegment",
+    "GradientBucket",
     "VirtualMesh",
 ]

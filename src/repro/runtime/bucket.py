@@ -1,0 +1,190 @@
+"""Fused multi-tensor gradient buckets.
+
+Real large-scale training does not issue one all-reduce per parameter: the
+gradients of the whole model are flattened into one (or a few) contiguous
+buffers and reduced with a single fused collective per step, as in the
+weight-update-sharding design of Xu et al. (2020) and GSPMD.  This module
+provides that abstraction for the functional layer:
+
+* :class:`GradientBucket` records the offset map of a named parameter tree
+  (name -> slice of one flat buffer) and converts trees to/from fused flat
+  buffers — ``unflatten`` returns zero-copy reshaped views;
+* :meth:`GradientBucket.all_reduce` runs a *single* ring or 2-D
+  hierarchical collective over the fused per-device buffers;
+* :meth:`GradientBucket.segments` maps a device's reduce-scatter shard back
+  to the per-parameter segments it covers — what the sharded optimizer
+  update needs to apply per-layer math (trust ratios, weight decay
+  skipping) to a fused shard.
+
+The trainers in :mod:`repro.core` and :class:`repro.runtime.mesh.VirtualMesh`
+route their gradient collectives through buckets, turning O(num_params)
+collective launches per step into one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.runtime.collectives import (
+    padded_chunk_layout,
+    ring_all_reduce,
+    two_phase_all_reduce,
+)
+
+
+@dataclass(frozen=True)
+class BucketSegment:
+    """The part of one parameter that falls inside a flat-buffer window.
+
+    ``bucket_slice`` addresses the segment in full-bucket coordinates,
+    ``local_slice`` in window (shard) coordinates, and ``tensor_slice`` in
+    the parameter's own flattened coordinates.
+    """
+
+    name: str
+    bucket_slice: slice
+    local_slice: slice
+    tensor_slice: slice
+
+    @property
+    def size(self) -> int:
+        return self.bucket_slice.stop - self.bucket_slice.start
+
+
+class GradientBucket:
+    """Offset map for fusing a named tensor tree into one flat buffer."""
+
+    def __init__(
+        self,
+        template: Mapping[str, np.ndarray],
+        dtype: np.dtype | type | None = None,
+    ) -> None:
+        if not template:
+            raise ValueError("bucket template must contain at least one tensor")
+        self.names: tuple[str, ...] = tuple(template)
+        self.shapes: dict[str, tuple[int, ...]] = {}
+        self.offsets: dict[str, int] = {}
+        offset = 0
+        for name in self.names:
+            arr = np.asarray(template[name])
+            self.shapes[name] = arr.shape
+            self.offsets[name] = offset
+            offset += arr.size if arr.shape else 1
+        self.size = offset
+        self.dtype = np.dtype(
+            dtype
+            if dtype is not None
+            else np.result_type(*(np.asarray(template[n]).dtype for n in self.names))
+        )
+        self._segment_cache: dict[tuple[int, int], tuple[BucketSegment, ...]] = {}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"GradientBucket({len(self.names)} tensors, {self.size} elems, "
+            f"{self.dtype})"
+        )
+
+    def slice_of(self, name: str) -> slice:
+        """Position of one tensor inside the flat buffer."""
+        offset = self.offsets[name]
+        size = int(np.prod(self.shapes[name])) if self.shapes[name] else 1
+        return slice(offset, offset + size)
+
+    def flatten(
+        self, tree: Mapping[str, np.ndarray], out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Pack a tree into one contiguous flat buffer (allocated if needed)."""
+        if out is None:
+            out = np.empty(self.size, dtype=self.dtype)
+        elif out.shape != (self.size,):
+            raise ValueError(f"out must have shape ({self.size},)")
+        for name in self.names:
+            out[self.slice_of(name)] = np.asarray(tree[name]).reshape(-1)
+        return out
+
+    def unflatten(self, flat: np.ndarray) -> dict[str, np.ndarray]:
+        """Split a flat buffer back into named tensors (zero-copy views)."""
+        flat = np.asarray(flat).reshape(-1)
+        if flat.size < self.size:
+            raise ValueError(
+                f"buffer has {flat.size} elements; bucket needs {self.size}"
+            )
+        return {
+            name: flat[self.slice_of(name)].reshape(self.shapes[name])
+            for name in self.names
+        }
+
+    def segments(self, start: int, stop: int) -> tuple[BucketSegment, ...]:
+        """Per-tensor segments overlapping the window ``[start, stop)``.
+
+        Cached per window — the sharded update asks for the same n windows
+        every step.  Windows extending past ``self.size`` (ring padding)
+        simply yield no segments there.
+        """
+        key = (start, stop)
+        cached = self._segment_cache.get(key)
+        if cached is not None:
+            return cached
+        segs = []
+        for name in self.names:
+            tensor = self.slice_of(name)
+            lo = max(start, tensor.start)
+            hi = min(stop, tensor.stop)
+            if lo < hi:
+                segs.append(
+                    BucketSegment(
+                        name=name,
+                        bucket_slice=slice(lo, hi),
+                        local_slice=slice(lo - start, hi - start),
+                        tensor_slice=slice(lo - tensor.start, hi - tensor.start),
+                    )
+                )
+        result = tuple(segs)
+        self._segment_cache[key] = result
+        return result
+
+    def shard_segments(self, num_devices: int) -> tuple[tuple[BucketSegment, ...], ...]:
+        """Segments of every device's reduce-scatter shard, in device order."""
+        _, chunk = padded_chunk_layout(num_devices, self.size)
+        return tuple(
+            self.segments(d * chunk, (d + 1) * chunk) for d in range(num_devices)
+        )
+
+    # --- fused collectives ---------------------------------------------------
+
+    def all_reduce(
+        self,
+        trees: Sequence[Mapping[str, np.ndarray]],
+        dtype_policy: str = "f32",
+        grid_shape: tuple[int, int] | None = None,
+        shard_transform=None,
+    ) -> list[dict[str, np.ndarray]]:
+        """One fused collective over per-device trees; unflattened results.
+
+        ``grid_shape=(x, y)`` with both dims > 1 selects the 2-D
+        hierarchical schedule (devices in x-major order); otherwise a flat
+        ring.  ``shard_transform`` is the fused shard hook of
+        :func:`repro.runtime.collectives.two_phase_all_reduce` and operates
+        on fused flat shards (it must be elementwise).
+        """
+        buffers = [self.flatten(t) for t in trees]
+        if grid_shape is not None:
+            x_size, y_size = grid_shape
+            if x_size * y_size != len(buffers):
+                raise ValueError("grid_shape does not match number of devices")
+            grid = [
+                [buffers[x * y_size + y] for y in range(y_size)]
+                for x in range(x_size)
+            ]
+            reduced = two_phase_all_reduce(
+                grid, dtype_policy, shard_transform=shard_transform
+            )
+            flat_results = [reduced[x][y] for x in range(x_size) for y in range(y_size)]
+        else:
+            if shard_transform is not None:
+                raise ValueError("shard_transform requires the hierarchical schedule")
+            flat_results = ring_all_reduce(buffers, dtype_policy)
+        return [self.unflatten(r) for r in flat_results]

@@ -12,16 +12,36 @@ The algorithms replicate the data motion of the hardware schedules:
 
 Reductions can run in float64/float32 or emulated bfloat16 (rounding the
 partial sum at every hop, as in-network bf16 summation does).
+
+Two implementations coexist (DESIGN.md §6):
+
+* the **reference** kernels (``_reference_*``) execute the schedule with
+  per-device Python loops, one chunk object at a time — slow but an
+  unmistakable transcription of the hardware data motion;
+* the **vectorized** kernels (the public functions) reduce into a single
+  flat ``(padded,)`` accumulator whose chunk ``c`` is slot ``c``, sweeping
+  the devices linearly twice: each ring hop becomes one contiguous
+  prefix/suffix block addition straight off the source buffer (see
+  :func:`_linear_ring_passes`) — no staging copies, no index gathers, and
+  a cache-resident accumulator.  Because every per-element reduction
+  happens in the same ring order with the same dtype, the results are
+  **bit-identical** to the reference kernels under every dtype policy
+  (property-tested in ``tests/test_runtime_collectives.py``).
+
+Padding metadata is cached keyed by ``(n, size)`` and quantization staging
+buffers are pooled keyed by shape/dtype, so repeated steps — the trainer
+hot loop — pay zero setup and zero large allocations beyond their outputs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.numerics.bfloat16 import bf16_add, round_to_bfloat16
+from repro.numerics.bfloat16 import _round_inplace_nonan, bf16_add, round_to_bfloat16
 
 #: Supported accumulation policies.
 DTYPE_POLICIES = ("f64", "f32", "bf16")
@@ -39,6 +59,15 @@ def _reducer_for(policy: str) -> Reducer:
     raise ValueError(f"unknown dtype policy {policy!r}; choose from {DTYPE_POLICIES}")
 
 
+def _dtype_for(policy: str) -> np.dtype:
+    """Storage dtype of a policy's wire format (bf16 is emulated in f32)."""
+    if policy == "f64":
+        return np.dtype(np.float64)
+    if policy in ("f32", "bf16"):
+        return np.dtype(np.float32)
+    raise ValueError(f"unknown dtype policy {policy!r}; choose from {DTYPE_POLICIES}")
+
+
 def _prepare(policy: str, array: np.ndarray) -> np.ndarray:
     """Quantize an input buffer to the wire format of the policy."""
     if policy == "bf16":
@@ -46,6 +75,33 @@ def _prepare(policy: str, array: np.ndarray) -> np.ndarray:
     if policy == "f64":
         return array.astype(np.float64)
     return array.astype(np.float32)
+
+
+# --- cached schedule / padding metadata -------------------------------------
+
+
+@lru_cache(maxsize=None)
+def padded_chunk_layout(n: int, size: int) -> tuple[int, int]:
+    """``(padded, chunk)`` for splitting a ``size``-element buffer n ways."""
+    padded = ((size + n - 1) // n) * n
+    return padded, padded // n
+
+
+#: Reusable staging buffers keyed by (shape, dtype) — repeated steps of
+#: the trainer hot loop reuse one allocation instead of paying a multi-MB
+#: mmap + page-fault round trip per collective.  Not thread-safe (nothing in
+#: the functional layer is).
+_SCRATCH: dict[tuple, np.ndarray] = {}
+
+
+def _scratch(shape: tuple[int, ...], dtype: np.dtype) -> np.ndarray:
+    key = (shape, np.dtype(dtype).str)
+    buf = _SCRATCH.get(key)
+    if buf is None:
+        if len(_SCRATCH) >= 16:
+            _SCRATCH.clear()
+        buf = _SCRATCH[key] = np.empty(shape, dtype)
+    return buf
 
 
 @dataclass
@@ -71,23 +127,125 @@ class ShardedValue:
         return flat[:size].reshape(self.shape)
 
 
-def _chunked(arrays: Sequence[np.ndarray], n: int) -> tuple[list[list[np.ndarray]], tuple[int, ...], int]:
-    """Flatten each device buffer and split into n equal chunks (padded)."""
-    if not arrays:
+def _check_same_shape(arrays: Sequence[np.ndarray]) -> tuple[int, ...]:
+    if not len(arrays):
         raise ValueError("need at least one device buffer")
     shape = np.asarray(arrays[0]).shape
     for a in arrays:
         if np.asarray(a).shape != shape:
             raise ValueError("all device buffers must have the same shape")
+    return shape
+
+
+def _linear_ring_passes(
+    acc: np.ndarray,
+    srcs,
+    size: int,
+    chunk: int,
+    bf16_round: Callable[[np.ndarray], np.ndarray] | None = None,
+) -> np.ndarray:
+    """Ring reduce-scatter as two linear sweeps of contiguous block adds.
+
+    ``acc`` is the flat ``(padded,)`` accumulator whose chunk ``c`` is slot
+    ``c``; ``srcs[d]`` is device ``d``'s quantized flat buffer (``size``
+    elements).  Slot ``c`` must accumulate devices in the cyclic ring order
+    ``c, c+1, ..., n-1, 0, ..., c-1`` — which a linear sweep over devices
+    realizes exactly: in pass one device ``d`` *initializes* its own slot
+    (a copy, so signed zeros and NaN payloads survive bit-exactly) and is
+    added to every slot below ``d``; in pass two it is added to every slot
+    above ``d``.  Each step is therefore one contiguous prefix/suffix add
+    straight off the source buffer (operand order ``contribution + acc``,
+    matching ``reducer(chunks[dst][c], chunks[d][c])`` of the reference
+    schedule) — no staging copies, no index arrays, and the accumulator
+    stays cache-resident.  For bf16 each touched region is re-rounded
+    after its add, exactly one rounding per slot per hop.
+
+    Padding slots (``>= size``) are never written and must be pre-zeroed.
+    ``bf16_round`` is the per-hop in-place rounding function for the bf16
+    policy (:func:`_bf16_round_for` picks the NaN-checked or the faster
+    NaN-free variant per collective); ``None`` for f32/f64.
+    """
+    n = len(srcs)
+    for d in range(n):
+        lo = d * chunk
+        hi = min(lo + chunk, size)
+        if hi > lo:
+            acc[lo:hi] = srcs[d][lo:hi]
+        end = min(lo, size)
+        if end > 0:
+            np.add(srcs[d][:end], acc[:end], out=acc[:end])
+            if bf16_round is not None:
+                bf16_round(acc[:end])
+    for d in range(n - 1):
+        start = min((d + 1) * chunk, size)
+        if start < size:
+            np.add(srcs[d][start:size], acc[start:size], out=acc[start:size])
+            if bf16_round is not None:
+                bf16_round(acc[start:size])
+    return acc
+
+
+def _round_checked(seg: np.ndarray) -> np.ndarray:
+    return round_to_bfloat16(seg, out=seg)
+
+
+def _bf16_round_for(staged: np.ndarray) -> Callable[[np.ndarray], np.ndarray]:
+    """Pick the per-hop rounding variant for one collective.
+
+    When every staged input is finite, accumulation chains can saturate to
+    ±inf but never produce NaN, so the NaN-mask passes of the full rounding
+    can be skipped bit-exactly; any NaN/inf input falls back to the checked
+    variant.
+    """
+    finite = np.isfinite(staged, out=_scratch(staged.shape, np.dtype(np.bool_)))
+    return _round_inplace_nonan if finite.all() else _round_checked
+
+
+def _quantized_sources(
+    flats, dtype: np.dtype, policy: str
+) -> tuple[Sequence[np.ndarray] | np.ndarray, Callable | None]:
+    """Per-device flat buffers in the policy's wire format.
+
+    Returns ``(srcs, bf16_round)``.  Buffers already in the wire dtype are
+    used as-is (zero copies — the hot path); otherwise the stack is staged
+    once through a pooled scratch block.  For bf16 each row gets a fused
+    copy+round (bias temporaries stay cache-sized) plus a finiteness check
+    while the row is still cache-hot, which selects the per-hop rounding
+    variant (see :func:`_bf16_round_for`); ``bf16_round`` is ``None`` for
+    the other policies.
+    """
+    if policy != "bf16":
+        if all(f.dtype == dtype for f in flats):
+            return flats, None
+        staged = _scratch((len(flats), flats[0].size), dtype)
+        for d, f in enumerate(flats):
+            staged[d] = f
+        return staged, None
+    staged = _scratch((len(flats), flats[0].size), dtype)
+    row_ok = _scratch((flats[0].size,), np.dtype(np.bool_))
+    finite = True
+    for d, f in enumerate(flats):
+        round_to_bfloat16(f, out=staged[d])
+        if finite:
+            finite = bool(np.isfinite(staged[d], out=row_ok).all())
+    return staged, (_round_inplace_nonan if finite else _round_checked)
+
+
+def _ring_reduce_scatter_impl(
+    arrays: Sequence[np.ndarray], dtype_policy: str
+) -> tuple[np.ndarray, tuple[int, ...], int]:
+    """Shared core: returns ``(shards (n, chunk), shape, padded)``."""
+    dtype = _dtype_for(dtype_policy)
+    n = len(arrays)
+    shape = _check_same_shape(arrays)
     size = int(np.prod(shape)) if shape else 1
-    padded = ((size + n - 1) // n) * n
-    chunks: list[list[np.ndarray]] = []
-    for a in arrays:
-        flat = np.asarray(a).reshape(-1)
-        if padded != size:
-            flat = np.concatenate([flat, np.zeros(padded - size, dtype=flat.dtype)])
-        chunks.append(np.split(flat, n))
-    return chunks, shape, padded
+    padded, chunk = padded_chunk_layout(n, size)
+    flats = [np.asarray(a).reshape(-1) for a in arrays]
+    srcs, bf16_round = _quantized_sources(flats, dtype, dtype_policy)
+    acc = np.empty(padded, dtype=dtype)
+    acc[size:] = 0
+    _linear_ring_passes(acc, srcs, size, chunk, bf16_round)
+    return acc.reshape(n, chunk), shape, padded
 
 
 def ring_reduce_scatter(
@@ -99,63 +257,44 @@ def ring_reduce_scatter(
     reduced chunk ``d``.  The accumulation order is the ring order, so
     float32/bf16 results carry the rounding pattern of real hardware rings.
     """
-    n = len(arrays)
-    reducer = _reducer_for(dtype_policy)
-    chunks, shape, padded = _chunked(
-        [_prepare(dtype_policy, np.asarray(a)) for a in arrays], n
-    )
-    if n == 1:
-        return ShardedValue([chunks[0][0]], shape, padded)
-    for step in range(n - 1):
-        updates = {}
-        for d in range(n):
-            c = (d - step) % n
-            dst = (d + 1) % n
-            updates[(dst, c)] = reducer(chunks[dst][c], chunks[d][c])
-        for (dst, c), v in updates.items():
-            chunks[dst][c] = v
-    # After n-1 steps device d holds reduced chunk (d + 1) mod n; relabel so
-    # shard index == device index (a zero-cost renaming on hardware).
-    shards = [chunks[(c - 1) % n][c] for c in range(n)]
-    return ShardedValue(shards, shape, padded)
+    shards, shape, padded = _ring_reduce_scatter_impl(arrays, dtype_policy)
+    return ShardedValue(list(shards), shape, padded)
 
 
 def ring_all_gather(value: ShardedValue) -> list[np.ndarray]:
     """All-gather shards back to a full buffer on every device.
 
-    Runs the ``n - 1``-step ring motion and returns one full array per
-    device (all identical).
+    The ring motion moves chunks without arithmetic, so the vectorized
+    fast path assembles the full buffer once and materializes one
+    independent copy per device — bit-identical to (and assertion-free,
+    unlike) the step-by-step :func:`_reference_ring_all_gather`.
     """
     n = value.num_devices
     if n == 1:
         return [value.assemble()]
-    # have[d][c] is the chunk c as known by device d (None if not yet seen).
-    have: list[list[np.ndarray | None]] = [
-        [value.shards[c] if c == d else None for c in range(n)] for d in range(n)
-    ]
-    for step in range(n):
-        if step == 0:
-            continue
-        for d in range(n):
-            src = (d - 1) % n
-            c = (src - step + 1) % n
-            chunk = have[src][c]
-            if chunk is None:
-                raise AssertionError("ring all-gather schedule bug")
-            have[d][c] = chunk
-    out = []
     size = int(np.prod(value.shape)) if value.shape else 1
-    for d in range(n):
-        flat = np.concatenate([have[d][c] for c in range(n)])
-        out.append(flat[:size].reshape(value.shape))
-    return out
+    full = np.concatenate(value.shards)[:size]
+    out = np.empty((n, size), dtype=full.dtype)
+    out[:] = full
+    return [out[d].reshape(value.shape) for d in range(n)]
 
 
 def ring_all_reduce(
     arrays: Sequence[np.ndarray], dtype_policy: str = "f32"
 ) -> list[np.ndarray]:
-    """Ring all-reduce = reduce-scatter + all-gather."""
-    return ring_all_gather(ring_reduce_scatter(arrays, dtype_policy))
+    """Ring all-reduce = reduce-scatter + all-gather.
+
+    The reduce-scatter shards land as rows of one contiguous block in chunk
+    order, so the gather phase reads the reduced buffer straight off the
+    block — no per-shard concatenation.
+    """
+    shards, shape, _ = _ring_reduce_scatter_impl(arrays, dtype_policy)
+    n = shards.shape[0]
+    size = int(np.prod(shape)) if shape else 1
+    full = shards.reshape(-1)[:size]
+    out = np.empty((n, size), dtype=shards.dtype)
+    out[:] = full
+    return [out[d].reshape(shape) for d in range(n)]
 
 
 # --- 2-D hierarchical collective (Section 3.3) -----------------------------
@@ -183,23 +322,56 @@ def reduce_scatter_grid(
     Returns per-device :class:`ShardedValue` views whose shards are the
     per-chip gradient shards fed to the sharded weight update: device (x, y)
     owns X-chunk ``x`` of Y-chunk ``y``.
+
+    Both ring phases run batched: the ``x_size`` independent column rings
+    (and then the ``y_size`` row rings) execute as one stacked kernel call.
     """
+    dtype = _dtype_for(dtype_policy)
     x_size, y_size = _grid_shape(grid)
-    # Y phase: one ring per column.
-    y_sharded = [
-        ring_reduce_scatter([grid[x][y] for y in range(y_size)], dtype_policy)
-        for x in range(x_size)
-    ]
-    # X phase: for each y shard index, a ring across columns.
-    out: list[list[ShardedValue]] = [[None] * y_size for _ in range(x_size)]  # type: ignore[list-item]
+    arrays = [np.asarray(g) for col in grid for g in col]
+    shape = _check_same_shape(arrays)
+    size = int(np.prod(shape)) if shape else 1
+    flats = [a.reshape(-1) for a in arrays]
+    srcs, bf16_round = _quantized_sources(flats, dtype, dtype_policy)
+    # Y phase: one ring per mesh column.
+    padded_y, y_chunk = padded_chunk_layout(y_size, size)
+    acc_y = np.empty((x_size, padded_y), dtype=dtype)
+    acc_y[:, size:] = 0
+    for x in range(x_size):
+        _linear_ring_passes(
+            acc_y[x],
+            [srcs[x * y_size + y] for y in range(y_size)],
+            size,
+            y_chunk,
+            bf16_round,
+        )
+    # X phase: for each Y-shard index, a ring across columns.  Sources are
+    # the Y accumulators (already quantized, so no re-rounding for bf16):
+    # device x of ring y contributes Y-chunk y of mesh column x.  The
+    # NaN-free fast path must be re-decided here: finite inputs can
+    # saturate to +inf in one column and -inf in another, which meet as
+    # NaN when reducing across X.
+    if dtype_policy == "bf16":
+        bf16_round = _bf16_round_for(acc_y)
+    acc_y3 = acc_y.reshape(x_size, y_size, y_chunk)
+    padded_x, x_chunk = padded_chunk_layout(x_size, y_chunk)
+    x_shards = np.empty((y_size, padded_x), dtype=dtype)
+    x_shards[:, y_chunk:] = 0
     for y in range(y_size):
-        x_inputs = [y_sharded[x].shards[y] for x in range(x_size)]
-        sub = ring_reduce_scatter(x_inputs, dtype_policy)
-        for x in range(x_size):
+        _linear_ring_passes(
+            x_shards[y],
+            [acc_y3[x, y] for x in range(x_size)],
+            y_chunk,
+            x_chunk,
+            bf16_round,
+        )
+    shards3 = x_shards.reshape(y_size, x_size, x_chunk)
+    out: list[list[ShardedValue]] = [[None] * y_size for _ in range(x_size)]  # type: ignore[list-item]
+    for x in range(x_size):
+        for y in range(y_size):
+            shard = shards3[y, x]
             out[x][y] = ShardedValue(
-                shards=[sub.shards[x]],
-                shape=sub.shards[x].shape,
-                padded_size=sub.shards[x].size,
+                shards=[shard], shape=shard.shape, padded_size=shard.size
             )
     return out
 
@@ -213,32 +385,30 @@ def all_gather_grid(
 
     ``shards[x][y]`` is device (x, y)'s final shard (X-chunk ``x`` of
     Y-chunk ``y`` of the padded flat buffer); ``shape`` is the original
-    (unpadded) buffer shape.
+    (unpadded) buffer shape.  Pure data movement: the full buffer is
+    assembled once and every device receives an independent copy.
     """
+    _dtype_for(dtype_policy)
     x_size = len(shards)
     y_size = len(shards[0])
     size = int(np.prod(shape)) if shape else 1
-    padded_y = ((size + y_size - 1) // y_size) * y_size
-    y_chunk = padded_y // y_size
-    padded_x = ((y_chunk + x_size - 1) // x_size) * x_size
-    # X all-gather per row-shard index.
-    y_chunks: list[list[np.ndarray]] = [[None] * y_size for _ in range(x_size)]  # type: ignore[list-item]
-    for y in range(y_size):
-        sv = ShardedValue(
-            shards=[np.asarray(shards[x][y]).reshape(-1) for x in range(x_size)],
-            shape=(y_chunk,),
-            padded_size=padded_x,
-        )
-        gathered = ring_all_gather(sv)
-        for x in range(x_size):
-            y_chunks[x][y] = gathered[x]
-    # Y all-gather per column.
+    padded_y, y_chunk = padded_chunk_layout(y_size, size)
+    padded_x, x_chunk = padded_chunk_layout(x_size, y_chunk)
+    first = np.asarray(shards[0][0])
+    # Assemble: X-gather concatenates x shards (strip to y_chunk), Y-gather
+    # concatenates the y chunks (strip to size).
+    assembled = np.empty((y_size, x_size, x_chunk), dtype=first.dtype)
+    for x in range(x_size):
+        for y in range(y_size):
+            assembled[y, x] = np.asarray(shards[x][y]).reshape(-1)
+    full = assembled.reshape(y_size, padded_x)[:, :y_chunk].reshape(-1)[:size]
+    n = x_size * y_size
+    stacked = np.empty((n, size), dtype=full.dtype)
+    stacked[:] = full
     out: list[list[np.ndarray]] = [[None] * y_size for _ in range(x_size)]  # type: ignore[list-item]
     for x in range(x_size):
-        sv = ShardedValue(shards=y_chunks[x], shape=shape, padded_size=padded_y)
-        gathered = ring_all_gather(sv)
         for y in range(y_size):
-            out[x][y] = gathered[y]
+            out[x][y] = stacked[x * y_size + y].reshape(shape)
     return out
 
 
@@ -269,3 +439,156 @@ def two_phase_all_reduce(
                 shard = transformed
             final_shards[x][y] = shard
     return all_gather_grid(final_shards, shape, dtype_policy)
+
+
+# --- reference implementations (retained for bit-identity cross-checks) ----
+
+
+def _reference_chunked(
+    arrays: Sequence[np.ndarray], n: int
+) -> tuple[list[list[np.ndarray]], tuple[int, ...], int]:
+    """Flatten each device buffer and split into n equal chunks (padded)."""
+    shape = _check_same_shape(arrays)
+    size = int(np.prod(shape)) if shape else 1
+    padded = ((size + n - 1) // n) * n
+    chunks: list[list[np.ndarray]] = []
+    for a in arrays:
+        flat = np.asarray(a).reshape(-1)
+        if padded != size:
+            flat = np.concatenate([flat, np.zeros(padded - size, dtype=flat.dtype)])
+        chunks.append(np.split(flat, n))
+    return chunks, shape, padded
+
+
+def _reference_ring_reduce_scatter(
+    arrays: Sequence[np.ndarray], dtype_policy: str = "f32"
+) -> ShardedValue:
+    """Per-device-loop reduce-scatter: the schedule transcribed literally."""
+    n = len(arrays)
+    reducer = _reducer_for(dtype_policy)
+    chunks, shape, padded = _reference_chunked(
+        [_prepare(dtype_policy, np.asarray(a)) for a in arrays], n
+    )
+    if n == 1:
+        return ShardedValue([chunks[0][0]], shape, padded)
+    for step in range(n - 1):
+        updates = {}
+        for d in range(n):
+            c = (d - step) % n
+            dst = (d + 1) % n
+            updates[(dst, c)] = reducer(chunks[dst][c], chunks[d][c])
+        for (dst, c), v in updates.items():
+            chunks[dst][c] = v
+    shards = [chunks[(c - 1) % n][c] for c in range(n)]
+    return ShardedValue(shards, shape, padded)
+
+
+def _reference_ring_all_gather(value: ShardedValue) -> list[np.ndarray]:
+    """Step-by-step ring all-gather.
+
+    Tracks only the single chunk each device receives per step (``carry``)
+    instead of the full O(n²) per-device ``have`` table of earlier
+    revisions: at step ``s`` device ``d`` receives its predecessor's carry,
+    which is reduced chunk ``(d - s) mod n``.
+    """
+    n = value.num_devices
+    if n == 1:
+        return [value.assemble()]
+    received: list[list[np.ndarray]] = [[None] * n for _ in range(n)]  # type: ignore[list-item]
+    carry = list(value.shards)
+    for d in range(n):
+        received[d][d] = value.shards[d]
+    for step in range(1, n):
+        carry = [carry[(d - 1) % n] for d in range(n)]
+        for d in range(n):
+            received[d][(d - step) % n] = carry[d]
+    out = []
+    size = int(np.prod(value.shape)) if value.shape else 1
+    for d in range(n):
+        flat = np.concatenate(received[d])
+        out.append(flat[:size].reshape(value.shape))
+    return out
+
+
+def _reference_ring_all_reduce(
+    arrays: Sequence[np.ndarray], dtype_policy: str = "f32"
+) -> list[np.ndarray]:
+    return _reference_ring_all_gather(
+        _reference_ring_reduce_scatter(arrays, dtype_policy)
+    )
+
+
+def _reference_reduce_scatter_grid(
+    grid: Sequence[Sequence[np.ndarray]], dtype_policy: str = "f32"
+) -> list[list[ShardedValue]]:
+    """Per-ring-loop 2-D reduce-scatter (phases 1+2)."""
+    x_size, y_size = _grid_shape(grid)
+    y_sharded = [
+        _reference_ring_reduce_scatter(
+            [grid[x][y] for y in range(y_size)], dtype_policy
+        )
+        for x in range(x_size)
+    ]
+    out: list[list[ShardedValue]] = [[None] * y_size for _ in range(x_size)]  # type: ignore[list-item]
+    for y in range(y_size):
+        x_inputs = [y_sharded[x].shards[y] for x in range(x_size)]
+        sub = _reference_ring_reduce_scatter(x_inputs, dtype_policy)
+        for x in range(x_size):
+            out[x][y] = ShardedValue(
+                shards=[sub.shards[x]],
+                shape=sub.shards[x].shape,
+                padded_size=sub.shards[x].size,
+            )
+    return out
+
+
+def _reference_all_gather_grid(
+    shards: Sequence[Sequence[np.ndarray]],
+    shape: tuple[int, ...],
+    dtype_policy: str = "f32",
+) -> list[list[np.ndarray]]:
+    """Per-ring-loop 2-D all-gather (phase 4)."""
+    x_size = len(shards)
+    y_size = len(shards[0])
+    size = int(np.prod(shape)) if shape else 1
+    padded_y = ((size + y_size - 1) // y_size) * y_size
+    y_chunk = padded_y // y_size
+    padded_x = ((y_chunk + x_size - 1) // x_size) * x_size
+    y_chunks: list[list[np.ndarray]] = [[None] * y_size for _ in range(x_size)]  # type: ignore[list-item]
+    for y in range(y_size):
+        sv = ShardedValue(
+            shards=[np.asarray(shards[x][y]).reshape(-1) for x in range(x_size)],
+            shape=(y_chunk,),
+            padded_size=padded_x,
+        )
+        gathered = _reference_ring_all_gather(sv)
+        for x in range(x_size):
+            y_chunks[x][y] = gathered[x]
+    out: list[list[np.ndarray]] = [[None] * y_size for _ in range(x_size)]  # type: ignore[list-item]
+    for x in range(x_size):
+        sv = ShardedValue(shards=y_chunks[x], shape=shape, padded_size=padded_y)
+        gathered = _reference_ring_all_gather(sv)
+        for y in range(y_size):
+            out[x][y] = gathered[y]
+    return out
+
+
+def _reference_two_phase_all_reduce(
+    grid: Sequence[Sequence[np.ndarray]],
+    dtype_policy: str = "f32",
+    shard_transform: Callable[[np.ndarray], np.ndarray] | None = None,
+) -> list[list[np.ndarray]]:
+    x_size, y_size = _grid_shape(grid)
+    shape = np.asarray(grid[0][0]).shape
+    reduced = _reference_reduce_scatter_grid(grid, dtype_policy)
+    final_shards: list[list[np.ndarray]] = [[None] * y_size for _ in range(x_size)]  # type: ignore[list-item]
+    for x in range(x_size):
+        for y in range(y_size):
+            shard = reduced[x][y].shards[0]
+            if shard_transform is not None:
+                transformed = np.asarray(shard_transform(shard))
+                if transformed.shape != shard.shape:
+                    raise ValueError("shard_transform must preserve shape")
+                shard = transformed
+            final_shards[x][y] = shard
+    return _reference_all_gather_grid(final_shards, shape, dtype_policy)

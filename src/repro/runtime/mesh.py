@@ -4,18 +4,20 @@
 logical ``x_size x y_size`` grid of devices, each with named buffers, plus
 convenience methods that run the runtime collectives over a named buffer.
 The trainers in :mod:`repro.core` use it as their execution substrate.
+
+Collectives are routed through :class:`repro.runtime.bucket.GradientBucket`:
+``all_reduce`` accepts either one buffer name or a sequence of names, and a
+sequence is *fused* — all named buffers travel in a single collective, the
+way real trainers bucket their gradients.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterator
+from typing import Callable, Iterator, Sequence
 
 import numpy as np
 
-from repro.runtime.collectives import (
-    ring_all_reduce,
-    two_phase_all_reduce,
-)
+from repro.runtime.bucket import GradientBucket
 
 
 class VirtualMesh:
@@ -35,6 +37,7 @@ class VirtualMesh:
         self.x_size = x_size
         self.y_size = y_size
         self._buffers: dict[str, dict[tuple[int, int], np.ndarray]] = {}
+        self._buckets: dict[tuple, GradientBucket] = {}
 
     @property
     def num_devices(self) -> int:
@@ -50,12 +53,23 @@ class VirtualMesh:
     def put(self, name: str, device: tuple[int, int], array: np.ndarray) -> None:
         """Place a buffer on one device."""
         self._check_device(device)
-        self._buffers.setdefault(name, {})[device] = np.asarray(array)
+        if type(array) is not np.ndarray:
+            array = np.asarray(array)
+        self._buffers.setdefault(name, {})[device] = array
 
     def put_replicated(self, name: str, array: np.ndarray) -> None:
-        """Place identical copies of a buffer on every device."""
-        for d in self.devices():
-            self.put(name, d, np.array(array, copy=True))
+        """Place identical, independent copies of a buffer on every device.
+
+        The replicas are rows of one block allocation: a single fill
+        replaces the per-device copy + dict churn of a ``put`` loop while
+        each device still owns a distinct memory region.
+        """
+        arr = np.asarray(array)
+        block = np.empty((self.num_devices,) + arr.shape, dtype=arr.dtype)
+        block[...] = arr
+        slot = self._buffers.setdefault(name, {})
+        for i, d in enumerate(self.devices()):
+            slot[d] = block[i]
 
     def get(self, name: str, device: tuple[int, int]) -> np.ndarray:
         self._check_device(device)
@@ -83,6 +97,19 @@ class VirtualMesh:
         for d in self.devices():
             self.put(name, d, fn(self.get(name, d)))
 
+    def apply_inplace(self, name: str, fn: Callable[[np.ndarray], None]) -> None:
+        """Apply a *mutating* function to the named buffer on every device.
+
+        ``fn`` must update its argument in place (its return value is
+        ignored); no copies are made and no dict entries are rewritten.
+        """
+        try:
+            per_device = self._buffers[name]
+        except KeyError:
+            raise KeyError(f"buffer {name!r} not present on mesh") from None
+        for buf in per_device.values():
+            fn(buf)
+
     def _check_device(self, device: tuple[int, int]) -> None:
         x, y = device
         if not (0 <= x < self.x_size and 0 <= y < self.y_size):
@@ -92,37 +119,51 @@ class VirtualMesh:
 
     # --- collectives ----------------------------------------------------------
 
+    def _bucket_for(self, names: tuple[str, ...]) -> GradientBucket:
+        template = {nm: self.get(nm, (0, 0)) for nm in names}
+        key = tuple(
+            (nm, template[nm].shape, template[nm].dtype.str) for nm in names
+        )
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            bucket = self._buckets[key] = GradientBucket(template)
+        return bucket
+
     def all_reduce(
         self,
-        name: str,
+        name: str | Sequence[str],
         dtype_policy: str = "f32",
         hierarchical: bool | None = None,
         shard_transform: Callable[[np.ndarray], np.ndarray] | None = None,
     ) -> None:
-        """All-reduce a named buffer in place across every device.
+        """All-reduce named buffer(s) in place across every device.
 
-        ``hierarchical`` selects the 2-D schedule (default when both mesh
-        dims exceed 1).  ``shard_transform`` is the fused sharded-update hook
-        of :func:`repro.runtime.collectives.two_phase_all_reduce` and is only
-        valid with the hierarchical schedule.
+        ``name`` may be a single buffer name or a sequence of names; a
+        sequence is fused into one bucketed collective (one launch for the
+        whole set, as bucketed gradient summation does).  ``hierarchical``
+        selects the 2-D schedule (default when both mesh dims exceed 1).
+        ``shard_transform`` is the fused sharded-update hook of
+        :func:`repro.runtime.collectives.two_phase_all_reduce`, applied to
+        fused flat shards, and is only valid with the hierarchical schedule.
         """
+        names = (name,) if isinstance(name, str) else tuple(name)
         if hierarchical is None:
             hierarchical = self.x_size > 1 and self.y_size > 1
-        if hierarchical:
-            result = two_phase_all_reduce(
-                self.grid(name), dtype_policy, shard_transform=shard_transform
-            )
-            for x in range(self.x_size):
-                for y in range(self.y_size):
-                    self.put(name, (x, y), result[x][y])
-        else:
-            if shard_transform is not None:
-                raise ValueError(
-                    "shard_transform requires the hierarchical schedule"
-                )
-            result_flat = ring_all_reduce(self.get_all(name), dtype_policy)
-            for arr, d in zip(result_flat, self.devices()):
-                self.put(name, d, arr)
+        if not hierarchical and shard_transform is not None:
+            raise ValueError("shard_transform requires the hierarchical schedule")
+        bucket = self._bucket_for(names)
+        trees = [
+            {nm: self.get(nm, d) for nm in names} for d in self.devices()
+        ]
+        reduced = bucket.all_reduce(
+            trees,
+            dtype_policy,
+            grid_shape=(self.x_size, self.y_size) if hierarchical else None,
+            shard_transform=shard_transform,
+        )
+        for tree, d in zip(reduced, self.devices()):
+            for nm in names:
+                self.put(nm, d, tree[nm])
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -121,9 +121,51 @@ class TestShardedUpdateEquivalence:
         assert wus.state is None  # replicated slots are gone
         wus.step(x, y)
         assert len(wus.sharded_state) == 4
+        # Fused layout: shards are windows of the whole flattened model, so
+        # each parameter's slots are split along the fused chunk boundaries
+        # and together cover the parameter exactly once.
+        params = model.init_params(np.random.default_rng(7))
+        total = sum(p.size for p in params.values())
+        chunk = -(-total // 4)  # ceil division
+        w0 = params["w0"].size
+        assert wus.sharded_state[0]["w0"]["m"].size == min(chunk, w0)
+        covered = sum(
+            state["w0"]["m"].size
+            for state in wus.sharded_state
+            if "w0" in state
+        )
+        assert covered == w0
+
+    def test_state_stays_sharded_unfused(self):
+        model = MLP([12, 16, 4])
+        x, y = _data()
+        wus = WeightUpdateShardedTrainer(
+            model, LAMB(0.01), num_replicas=4, fused=False
+        )
+        wus.init(np.random.default_rng(7))
+        assert wus.state is None
+        wus.step(x, y)
+        assert len(wus.sharded_state) == 4
         total = model.init_params(np.random.default_rng(7))["w0"].size
         chunk = wus.sharded_state[0]["w0"]["m"].size
-        assert chunk == -(-total // 4)  # ceil division
+        assert chunk == -(-total // 4)  # per-parameter ceil division
+
+    @pytest.mark.parametrize("name,make_opt", OPTIMIZERS)
+    def test_fused_matches_unfused(self, name, make_opt):
+        """Bucketed WUS == per-parameter WUS to machine precision."""
+        model = MLP([12, 16, 8, 4])
+        x, y = _data()
+        fused, fused_losses = _run(
+            WeightUpdateShardedTrainer(model, make_opt(), num_replicas=4), x, y
+        )
+        plain, plain_losses = _run(
+            WeightUpdateShardedTrainer(
+                model, make_opt(), num_replicas=4, fused=False
+            ),
+            x, y,
+        )
+        assert _max_param_diff(fused.params, plain.params) < 1e-10
+        assert fused_losses == pytest.approx(plain_losses, rel=1e-10)
 
     def test_mismatched_state_length(self, rng):
         opt = SGDMomentum(0.1)

@@ -45,6 +45,24 @@ class TestBuffers:
         m.apply("w", lambda a: 2 * a)
         assert np.array_equal(m.get("w", (1, 0)), 2 * np.ones(3))
 
+    def test_apply_inplace(self):
+        m = VirtualMesh(2, 1)
+        m.put_replicated("w", np.ones(3))
+        before = [m.get("w", d) for d in m.devices()]
+
+        def scale(buf):
+            buf *= 3.0
+
+        m.apply_inplace("w", scale)
+        for d, buf in zip(m.devices(), before):
+            assert m.get("w", d) is buf  # no copies, no dict rewrites
+            assert np.array_equal(buf, 3.0 * np.ones(3))
+
+    def test_apply_inplace_missing_buffer(self):
+        m = VirtualMesh(1, 1)
+        with pytest.raises(KeyError):
+            m.apply_inplace("nope", lambda b: None)
+
     def test_invalid_dims(self):
         with pytest.raises(ValueError):
             VirtualMesh(0, 1)
@@ -90,3 +108,40 @@ class TestMeshCollectives:
         m.all_reduce("g", "f64", shard_transform=lambda s: 0.5 * s)
         expected = np.full(12, 0.5 * 10.0)
         assert np.allclose(m.get("g", (1, 1)), expected)
+
+    def test_fused_multi_name_all_reduce(self):
+        """A sequence of names travels in ONE bucketed collective."""
+        m = VirtualMesh(4, 1)
+        self._fill(m, "g0", size=7)
+        self._fill(m, "g1", size=5)
+        m.all_reduce(["g0", "g1"], "f64")
+        for d in m.devices():
+            assert np.allclose(m.get("g0", d), np.full(7, 10.0))
+            assert np.allclose(m.get("g1", d), np.full(5, 10.0))
+
+    def test_fused_multi_name_matches_separate(self):
+        fused = VirtualMesh(2, 2)
+        separate = VirtualMesh(2, 2)
+        rng = np.random.default_rng(5)
+        for i, d in enumerate(fused.devices()):
+            a = rng.standard_normal(9)
+            b = rng.standard_normal((3, 4))
+            fused.put("a", d, a.copy())
+            fused.put("b", d, b.copy())
+            separate.put("a", d, a.copy())
+            separate.put("b", d, b.copy())
+        fused.all_reduce(["a", "b"], "f64")
+        separate.all_reduce("a", "f64")
+        separate.all_reduce("b", "f64")
+        for d in fused.devices():
+            assert np.allclose(fused.get("a", d), separate.get("a", d))
+            assert np.allclose(fused.get("b", d), separate.get("b", d))
+
+    def test_bucket_layout_cached(self):
+        m = VirtualMesh(2, 1)
+        self._fill(m, "g")
+        m.all_reduce("g", "f64")
+        first = m._buckets
+        assert len(first) == 1
+        m.all_reduce("g", "f64")
+        assert m._buckets is first and len(first) == 1
