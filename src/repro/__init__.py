@@ -29,6 +29,14 @@ The package provides four layers:
     paper's evaluation section.
 """
 
+import logging
+
 from repro._version import __version__
+
+# Library logging convention: every package logs under the "repro." prefix
+# (e.g. "repro.telemetry", "repro.runtime"); applications opt in with
+# logging.basicConfig().  CLI entry points (the repro-experiments /
+# repro-telemetry report output) write to stdout deliberately.
+logging.getLogger("repro").addHandler(logging.NullHandler())
 
 __all__ = ["__version__"]

@@ -11,9 +11,11 @@ single-device training on the concatenated batch, up to summation order.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter as _perf
 
 import numpy as np
 
+from repro import telemetry as _telemetry
 from repro.models.mlp import MLP
 from repro.optim.base import Optimizer, OptimizerState, Params
 from repro.runtime.bucket import GradientBucket
@@ -145,22 +147,44 @@ class DataParallelTrainer:
         return bucket.unflatten(flat)
 
     def step(self, x: np.ndarray, labels: np.ndarray) -> float:
-        """One synchronous data-parallel step on the global batch."""
+        """One synchronous data-parallel step on the global batch.
+
+        Telemetry: the step emits a ``train_step`` span (category
+        ``"step"``) enclosing the four phase spans of the paper's step
+        breakdown — ``split``/``forward_backward``/``collective``/
+        ``update`` — plus a ``step_seconds`` histogram labeled by trainer.
+        """
         if self.params is None or self.state is None:
             raise RuntimeError("call init() before step()")
-        xs, ys = self._split(x, labels)
-        losses = []
-        grads = []
-        for xi, yi in zip(xs, ys):
-            loss_i, g_i = self.model.loss_and_grad(self.params, xi, yi)
-            losses.append(loss_i)
-            grads.append(dict(g_i))
-        mean_grads = self._summed_mean_grads(grads)
-        self.params, self.state = self.optimizer.update(
-            self.params, mean_grads, self.state, self.step_index
-        )
+        t0 = _perf()
+        tracer = _telemetry.tracer
+        with tracer.span("train_step", category="step", actor="trainer"):
+            with tracer.span("split", category="input", actor="trainer"):
+                xs, ys = self._split(x, labels)
+            losses = []
+            grads = []
+            with tracer.span("forward_backward", category="compute", actor="trainer"):
+                for xi, yi in zip(xs, ys):
+                    loss_i, g_i = self.model.loss_and_grad(self.params, xi, yi)
+                    losses.append(loss_i)
+                    grads.append(dict(g_i))
+            with tracer.span("collective", category="comm", actor="trainer"):
+                mean_grads = self._summed_mean_grads(grads)
+            with tracer.span("update", category="update", actor="trainer"):
+                self.params, self.state = self.optimizer.update(
+                    self.params, mean_grads, self.state, self.step_index
+                )
         self.step_index += 1
+        self._record_step(_perf() - t0)
         return float(np.mean(losses))
+
+    def _record_step(self, seconds: float) -> None:
+        if not _telemetry.enabled:
+            return
+        m = _telemetry.metrics
+        trainer = type(self).__name__
+        m.histogram("step_seconds", trainer=trainer).observe(seconds)
+        m.counter("train_steps", trainer=trainer).inc()
 
     def train(self, batches, steps: int) -> TrainLog:
         losses = []

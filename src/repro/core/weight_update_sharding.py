@@ -21,8 +21,11 @@ tests check that WUS training matches replicated-update training exactly
 
 from __future__ import annotations
 
+from time import perf_counter as _perf
+
 import numpy as np
 
+from repro import telemetry as _telemetry
 from repro.optim.base import Optimizer, OptimizerState, Params
 from repro.runtime.bucket import GradientBucket
 from repro.runtime.collectives import (
@@ -187,37 +190,38 @@ def bucketed_sharded_update(
     )
     grad_shards = sharded.shards
     windows = bucket.shard_segments(n)
-    # 2a. per-segment partial norms, summed per layer across devices (the
-    #     tiny scalar all-reduce of the unfused path, now over segments).
-    stats: dict[str, dict[str, float]] = {name: {} for name in bucket.names}
-    for d in range(n):
-        for seg in windows[d]:
-            partial = optimizer.norm_stats(
-                seg.name,
-                flat_params[seg.bucket_slice],
-                grad_shards[d][seg.local_slice].astype(np.float64),
-                sharded_state[d][seg.name],
-                step,
-            )
-            acc = stats[seg.name]
-            for key, value in partial.items():
-                acc[key] = acc.get(key, 0.0) + value
-    # 2b. segment-local elementwise update into per-device chunk buffers.
-    _, chunk = padded_chunk_layout(n, bucket.size)
-    new_chunks = [np.zeros(chunk, dtype=np.float64) for _ in range(n)]
-    new_states: list[OptimizerState] = [dict() for _ in range(n)]
-    for d in range(n):
-        for seg in windows[d]:
-            new_vals, new_slot = optimizer.apply(
-                seg.name,
-                flat_params[seg.bucket_slice],
-                grad_shards[d][seg.local_slice].astype(np.float64),
-                sharded_state[d][seg.name],
-                step,
-                stats[seg.name],
-            )
-            new_chunks[d][seg.local_slice] = np.asarray(new_vals, dtype=np.float64)
-            new_states[d][seg.name] = new_slot
+    with _telemetry.tracer.span("sharded_update", category="update"):
+        # 2a. per-segment partial norms, summed per layer across devices (the
+        #     tiny scalar all-reduce of the unfused path, now over segments).
+        stats: dict[str, dict[str, float]] = {name: {} for name in bucket.names}
+        for d in range(n):
+            for seg in windows[d]:
+                partial = optimizer.norm_stats(
+                    seg.name,
+                    flat_params[seg.bucket_slice],
+                    grad_shards[d][seg.local_slice].astype(np.float64),
+                    sharded_state[d][seg.name],
+                    step,
+                )
+                acc = stats[seg.name]
+                for key, value in partial.items():
+                    acc[key] = acc.get(key, 0.0) + value
+        # 2b. segment-local elementwise update into per-device chunk buffers.
+        _, chunk = padded_chunk_layout(n, bucket.size)
+        new_chunks = [np.zeros(chunk, dtype=np.float64) for _ in range(n)]
+        new_states: list[OptimizerState] = [dict() for _ in range(n)]
+        for d in range(n):
+            for seg in windows[d]:
+                new_vals, new_slot = optimizer.apply(
+                    seg.name,
+                    flat_params[seg.bucket_slice],
+                    grad_shards[d][seg.local_slice].astype(np.float64),
+                    sharded_state[d][seg.name],
+                    step,
+                    stats[seg.name],
+                )
+                new_chunks[d][seg.local_slice] = np.asarray(new_vals, dtype=np.float64)
+                new_states[d][seg.name] = new_slot
     # 3. ONE fused all-gather of the updated weight shards.
     gathered = ring_all_gather(
         ShardedValue(
@@ -276,34 +280,43 @@ class WeightUpdateShardedTrainer(DataParallelTrainer):
     def step(self, x: np.ndarray, labels: np.ndarray) -> float:
         if self.params is None or self.sharded_state is None:
             raise RuntimeError("call init() before step()")
-        xs, ys = self._split(x, labels)
-        losses = []
-        grads = []
-        n = self.num_replicas
-        for xi, yi in zip(xs, ys):
-            loss_i, g_i = self.model.loss_and_grad(self.params, xi, yi)
-            losses.append(loss_i)
-            # Pre-scale so the reduce-scatter sum is the global mean.
-            grads.append({k: v / n for k, v in g_i.items()})
-        if self.fused:
-            assert self._bucket is not None
-            self.params, self.sharded_state = bucketed_sharded_update(
-                self.params,
-                grads,
-                self.optimizer,
-                self.sharded_state,
-                self.step_index,
-                self._bucket,
-                self.grad_dtype_policy,
-            )
-        else:
-            self.params, self.sharded_state = sharded_update(
-                self.params,
-                grads,
-                self.optimizer,
-                self.sharded_state,
-                self.step_index,
-                self.grad_dtype_policy,
-            )
+        t0 = _perf()
+        tracer = _telemetry.tracer
+        with tracer.span("train_step", category="step", actor="trainer"):
+            with tracer.span("split", category="input", actor="trainer"):
+                xs, ys = self._split(x, labels)
+            losses = []
+            grads = []
+            n = self.num_replicas
+            with tracer.span("forward_backward", category="compute", actor="trainer"):
+                for xi, yi in zip(xs, ys):
+                    loss_i, g_i = self.model.loss_and_grad(self.params, xi, yi)
+                    losses.append(loss_i)
+                    # Pre-scale so the reduce-scatter sum is the global mean.
+                    grads.append({k: v / n for k, v in g_i.items()})
+            # The fused reduce-scatter -> sharded update -> all-gather; the
+            # comm and update phases emit their own nested spans.
+            with tracer.span("wus_update", category="update", actor="trainer"):
+                if self.fused:
+                    assert self._bucket is not None
+                    self.params, self.sharded_state = bucketed_sharded_update(
+                        self.params,
+                        grads,
+                        self.optimizer,
+                        self.sharded_state,
+                        self.step_index,
+                        self._bucket,
+                        self.grad_dtype_policy,
+                    )
+                else:
+                    self.params, self.sharded_state = sharded_update(
+                        self.params,
+                        grads,
+                        self.optimizer,
+                        self.sharded_state,
+                        self.step_index,
+                        self.grad_dtype_policy,
+                    )
         self.step_index += 1
+        self._record_step(_perf() - t0)
         return float(np.mean(losses))

@@ -10,13 +10,17 @@ enlarging the prefetch buffer.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro import telemetry as _telemetry
 from repro.input_pipeline.stages import PipelineStage
 from repro.sim.engine import Simulator
 from repro.sim.resources import Store
+
+logger = logging.getLogger("repro.input_pipeline")
 
 
 @dataclass(frozen=True)
@@ -99,9 +103,22 @@ def simulate_host_pipeline(
 
     sim.process(device(), name="device")
     sim.run()
-    return HostPipelineResult(
+    result = HostPipelineResult(
         steps=steps,
         device_step_seconds=device_step_seconds,
         total_seconds=stall["done_at"],
         stall_seconds=stall["seconds"],
     )
+    if _telemetry.enabled:
+        m = _telemetry.metrics
+        m.counter("input_prefetch_stall_seconds").inc(result.stall_seconds)
+        m.counter("input_device_steps").inc(steps)
+        m.counter("input_examples").inc(total_examples)
+        m.gauge("input_stall_fraction").set(result.stall_fraction)
+        if result.stall_fraction > 0.01:
+            logger.debug(
+                "host pipeline stalled %.1f%% of %d steps "
+                "(prefetch=%.1f batches, workers=%d)",
+                100.0 * result.stall_fraction, steps, prefetch_batches, workers,
+            )
+    return result

@@ -24,10 +24,12 @@ collective launches per step into one.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter as _perf
 from typing import Mapping, Sequence
 
 import numpy as np
 
+from repro import telemetry as _telemetry
 from repro.runtime.collectives import (
     padded_chunk_layout,
     ring_all_reduce,
@@ -97,25 +99,37 @@ class GradientBucket:
         self, tree: Mapping[str, np.ndarray], out: np.ndarray | None = None
     ) -> np.ndarray:
         """Pack a tree into one contiguous flat buffer (allocated if needed)."""
+        t0 = _perf()
         if out is None:
             out = np.empty(self.size, dtype=self.dtype)
         elif out.shape != (self.size,):
             raise ValueError(f"out must have shape ({self.size},)")
         for name in self.names:
             out[self.slice_of(name)] = np.asarray(tree[name]).reshape(-1)
+        if _telemetry.enabled:
+            m = _telemetry.metrics
+            m.counter("bucket_flatten_seconds").inc(_perf() - t0)
+            m.counter("bucket_flatten_bytes").inc(self.size * self.dtype.itemsize)
+            m.counter("bucket_flatten_calls").inc()
         return out
 
     def unflatten(self, flat: np.ndarray) -> dict[str, np.ndarray]:
         """Split a flat buffer back into named tensors (zero-copy views)."""
+        t0 = _perf()
         flat = np.asarray(flat).reshape(-1)
         if flat.size < self.size:
             raise ValueError(
                 f"buffer has {flat.size} elements; bucket needs {self.size}"
             )
-        return {
+        tree = {
             name: flat[self.slice_of(name)].reshape(self.shapes[name])
             for name in self.names
         }
+        if _telemetry.enabled:
+            m = _telemetry.metrics
+            m.counter("bucket_unflatten_seconds").inc(_perf() - t0)
+            m.counter("bucket_unflatten_calls").inc()
+        return tree
 
     def segments(self, start: int, stop: int) -> tuple[BucketSegment, ...]:
         """Per-tensor segments overlapping the window ``[start, stop)``.
@@ -127,7 +141,11 @@ class GradientBucket:
         key = (start, stop)
         cached = self._segment_cache.get(key)
         if cached is not None:
+            if _telemetry.enabled:
+                _telemetry.metrics.counter("bucket_segment_cache_hits").inc()
             return cached
+        if _telemetry.enabled:
+            _telemetry.metrics.counter("bucket_segment_cache_misses").inc()
         segs = []
         for name in self.names:
             tensor = self.slice_of(name)
@@ -170,6 +188,16 @@ class GradientBucket:
         :func:`repro.runtime.collectives.two_phase_all_reduce` and operates
         on fused flat shards (it must be elementwise).
         """
+        with _telemetry.tracer.span("bucket_all_reduce", category="comm"):
+            return self._all_reduce(trees, dtype_policy, grid_shape, shard_transform)
+
+    def _all_reduce(
+        self,
+        trees: Sequence[Mapping[str, np.ndarray]],
+        dtype_policy: str,
+        grid_shape: tuple[int, int] | None,
+        shard_transform,
+    ) -> list[dict[str, np.ndarray]]:
         buffers = [self.flatten(t) for t in trees]
         if grid_shape is not None:
             x_size, y_size = grid_shape

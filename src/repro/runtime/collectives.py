@@ -37,10 +37,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
+from time import perf_counter as _perf
 from typing import Callable, Sequence
 
 import numpy as np
 
+from repro import telemetry as _telemetry
 from repro.numerics.bfloat16 import _round_inplace_nonan, bf16_add, round_to_bfloat16
 
 #: Supported accumulation policies.
@@ -85,6 +87,42 @@ def padded_chunk_layout(n: int, size: int) -> tuple[int, int]:
     """``(padded, chunk)`` for splitting a ``size``-element buffer n ways."""
     padded = ((size + n - 1) // n) * n
     return padded, padded // n
+
+
+# --- telemetry ---------------------------------------------------------------
+
+
+def _record_collective(
+    op: str, n: int, chunk: int, itemsize: int, policy: str, seconds: float,
+    axis: str = "ring", steps: int | None = None,
+) -> None:
+    """Account one collective launch: bytes on the wire, ring steps, time.
+
+    The byte model is the ring's: ``n - 1`` hops, every device forwarding
+    one ``chunk``-element message per hop — ``n * (n - 1) * chunk *
+    itemsize`` bytes per phase, the same traffic term the alpha-beta cost
+    model charges.  Only called when telemetry is enabled.
+    """
+    m = _telemetry.metrics
+    if steps is None:
+        steps = n - 1
+    m.counter("collective_bytes", op=op, axis=axis, policy=policy).inc(
+        n * (n - 1) * chunk * itemsize
+    )
+    m.counter("collective_ring_steps", op=op, axis=axis).inc(steps)
+    m.counter("collective_launches", op=op, axis=axis).inc()
+    m.histogram("collective_seconds", op=op, axis=axis).observe(seconds)
+
+
+def _padding_cache_collector(m) -> None:
+    """Snapshot-time gauges for the padding-layout ``lru_cache``."""
+    info = padded_chunk_layout.cache_info()
+    m.gauge("padding_layout_cache_hits").set(info.hits)
+    m.gauge("padding_layout_cache_misses").set(info.misses)
+    m.gauge("padding_layout_cache_size").set(info.currsize)
+
+
+_telemetry.metrics.register_collector(_padding_cache_collector)
 
 
 #: Reusable staging buffers keyed by (shape, dtype) — repeated steps of
@@ -257,7 +295,15 @@ def ring_reduce_scatter(
     reduced chunk ``d``.  The accumulation order is the ring order, so
     float32/bf16 results carry the rounding pattern of real hardware rings.
     """
-    shards, shape, padded = _ring_reduce_scatter_impl(arrays, dtype_policy)
+    t0 = _perf()
+    with _telemetry.tracer.span("ring_reduce_scatter", category="comm"):
+        shards, shape, padded = _ring_reduce_scatter_impl(arrays, dtype_policy)
+    if _telemetry.enabled:
+        n = len(arrays)
+        _record_collective(
+            "reduce_scatter", n, padded // n,
+            _dtype_for(dtype_policy).itemsize, dtype_policy, _perf() - t0,
+        )
     return ShardedValue(list(shards), shape, padded)
 
 
@@ -272,10 +318,22 @@ def ring_all_gather(value: ShardedValue) -> list[np.ndarray]:
     n = value.num_devices
     if n == 1:
         return [value.assemble()]
-    size = int(np.prod(value.shape)) if value.shape else 1
-    full = np.concatenate(value.shards)[:size]
-    out = np.empty((n, size), dtype=full.dtype)
-    out[:] = full
+    t0 = _perf()
+    with _telemetry.tracer.span("ring_all_gather", category="comm"):
+        size = int(np.prod(value.shape)) if value.shape else 1
+        full = np.concatenate(value.shards)[:size]
+        out = np.empty((n, size), dtype=full.dtype)
+        out[:] = full
+    if _telemetry.enabled:
+        # The gather is pure data movement; the wire dtype stands in for
+        # the policy label (bf16 shards travel as f32, matching the wire).
+        policy = {"float64": "f64", "float32": "f32"}.get(
+            full.dtype.name, full.dtype.name
+        )
+        _record_collective(
+            "all_gather", n, value.padded_size // n, full.dtype.itemsize,
+            policy, _perf() - t0,
+        )
     return [out[d].reshape(value.shape) for d in range(n)]
 
 
@@ -288,12 +346,21 @@ def ring_all_reduce(
     order, so the gather phase reads the reduced buffer straight off the
     block — no per-shard concatenation.
     """
-    shards, shape, _ = _ring_reduce_scatter_impl(arrays, dtype_policy)
-    n = shards.shape[0]
-    size = int(np.prod(shape)) if shape else 1
-    full = shards.reshape(-1)[:size]
-    out = np.empty((n, size), dtype=shards.dtype)
-    out[:] = full
+    t0 = _perf()
+    with _telemetry.tracer.span("ring_all_reduce", category="comm"):
+        shards, shape, _ = _ring_reduce_scatter_impl(arrays, dtype_policy)
+        n = shards.shape[0]
+        size = int(np.prod(shape)) if shape else 1
+        full = shards.reshape(-1)[:size]
+        out = np.empty((n, size), dtype=shards.dtype)
+        out[:] = full
+    if _telemetry.enabled:
+        # Reduce-scatter + all-gather: twice the one-phase ring traffic.
+        _record_collective(
+            "all_reduce", n, 2 * shards.shape[1],
+            _dtype_for(dtype_policy).itemsize, dtype_policy, _perf() - t0,
+            steps=2 * (n - 1),
+        )
     return [out[d].reshape(shape) for d in range(n)]
 
 
@@ -335,15 +402,23 @@ def reduce_scatter_grid(
     srcs, bf16_round = _quantized_sources(flats, dtype, dtype_policy)
     # Y phase: one ring per mesh column.
     padded_y, y_chunk = padded_chunk_layout(y_size, size)
-    acc_y = np.empty((x_size, padded_y), dtype=dtype)
-    acc_y[:, size:] = 0
-    for x in range(x_size):
-        _linear_ring_passes(
-            acc_y[x],
-            [srcs[x * y_size + y] for y in range(y_size)],
-            size,
-            y_chunk,
-            bf16_round,
+    t0 = _perf()
+    with _telemetry.tracer.span("reduce_scatter_y", category="comm"):
+        acc_y = np.empty((x_size, padded_y), dtype=dtype)
+        acc_y[:, size:] = 0
+        for x in range(x_size):
+            _linear_ring_passes(
+                acc_y[x],
+                [srcs[x * y_size + y] for y in range(y_size)],
+                size,
+                y_chunk,
+                bf16_round,
+            )
+    if _telemetry.enabled:
+        # x_size concurrent column rings of y_size members each.
+        _record_collective(
+            "reduce_scatter", y_size, x_size * y_chunk, dtype.itemsize,
+            dtype_policy, _perf() - t0, axis="y",
         )
     # X phase: for each Y-shard index, a ring across columns.  Sources are
     # the Y accumulators (already quantized, so no re-rounding for bf16):
@@ -355,15 +430,23 @@ def reduce_scatter_grid(
         bf16_round = _bf16_round_for(acc_y)
     acc_y3 = acc_y.reshape(x_size, y_size, y_chunk)
     padded_x, x_chunk = padded_chunk_layout(x_size, y_chunk)
-    x_shards = np.empty((y_size, padded_x), dtype=dtype)
-    x_shards[:, y_chunk:] = 0
-    for y in range(y_size):
-        _linear_ring_passes(
-            x_shards[y],
-            [acc_y3[x, y] for x in range(x_size)],
-            y_chunk,
-            x_chunk,
-            bf16_round,
+    t0 = _perf()
+    with _telemetry.tracer.span("reduce_scatter_x", category="comm"):
+        x_shards = np.empty((y_size, padded_x), dtype=dtype)
+        x_shards[:, y_chunk:] = 0
+        for y in range(y_size):
+            _linear_ring_passes(
+                x_shards[y],
+                [acc_y3[x, y] for x in range(x_size)],
+                y_chunk,
+                x_chunk,
+                bf16_round,
+            )
+    if _telemetry.enabled:
+        # y_size concurrent row rings over the already-1/y payload.
+        _record_collective(
+            "reduce_scatter", x_size, y_size * x_chunk, dtype.itemsize,
+            dtype_policy, _perf() - t0, axis="x",
         )
     shards3 = x_shards.reshape(y_size, x_size, x_chunk)
     out: list[list[ShardedValue]] = [[None] * y_size for _ in range(x_size)]  # type: ignore[list-item]
@@ -395,16 +478,33 @@ def all_gather_grid(
     padded_y, y_chunk = padded_chunk_layout(y_size, size)
     padded_x, x_chunk = padded_chunk_layout(x_size, y_chunk)
     first = np.asarray(shards[0][0])
-    # Assemble: X-gather concatenates x shards (strip to y_chunk), Y-gather
-    # concatenates the y chunks (strip to size).
-    assembled = np.empty((y_size, x_size, x_chunk), dtype=first.dtype)
-    for x in range(x_size):
-        for y in range(y_size):
-            assembled[y, x] = np.asarray(shards[x][y]).reshape(-1)
-    full = assembled.reshape(y_size, padded_x)[:, :y_chunk].reshape(-1)[:size]
-    n = x_size * y_size
-    stacked = np.empty((n, size), dtype=full.dtype)
-    stacked[:] = full
+    t0 = _perf()
+    with _telemetry.tracer.span("all_gather_grid", category="comm"):
+        # Assemble: X-gather concatenates x shards (strip to y_chunk), Y-gather
+        # concatenates the y chunks (strip to size).
+        assembled = np.empty((y_size, x_size, x_chunk), dtype=first.dtype)
+        for x in range(x_size):
+            for y in range(y_size):
+                assembled[y, x] = np.asarray(shards[x][y]).reshape(-1)
+        full = assembled.reshape(y_size, padded_x)[:, :y_chunk].reshape(-1)[:size]
+        n = x_size * y_size
+        stacked = np.empty((n, size), dtype=full.dtype)
+        stacked[:] = full
+    if _telemetry.enabled:
+        dt = _perf() - t0
+        m = _telemetry.metrics
+        itemsize = first.dtype.itemsize
+        m.counter("collective_bytes", op="all_gather", axis="x", policy=dtype_policy).inc(
+            x_size * (x_size - 1) * y_size * x_chunk * itemsize
+        )
+        m.counter("collective_bytes", op="all_gather", axis="y", policy=dtype_policy).inc(
+            y_size * (y_size - 1) * x_size * y_chunk * itemsize
+        )
+        m.counter("collective_ring_steps", op="all_gather", axis="xy").inc(
+            (x_size - 1) + (y_size - 1)
+        )
+        m.counter("collective_launches", op="all_gather", axis="xy").inc()
+        m.histogram("collective_seconds", op="all_gather", axis="xy").observe(dt)
     out: list[list[np.ndarray]] = [[None] * y_size for _ in range(x_size)]  # type: ignore[list-item]
     for x in range(x_size):
         for y in range(y_size):
@@ -427,18 +527,25 @@ def two_phase_all_reduce(
     """
     x_size, y_size = _grid_shape(grid)
     shape = np.asarray(grid[0][0]).shape
-    reduced = reduce_scatter_grid(grid, dtype_policy)
-    final_shards: list[list[np.ndarray]] = [[None] * y_size for _ in range(x_size)]  # type: ignore[list-item]
-    for x in range(x_size):
-        for y in range(y_size):
-            shard = reduced[x][y].shards[0]
-            if shard_transform is not None:
-                transformed = np.asarray(shard_transform(shard))
-                if transformed.shape != shard.shape:
-                    raise ValueError("shard_transform must preserve shape")
-                shard = transformed
-            final_shards[x][y] = shard
-    return all_gather_grid(final_shards, shape, dtype_policy)
+    with _telemetry.tracer.span("two_phase_all_reduce", category="comm"):
+        reduced = reduce_scatter_grid(grid, dtype_policy)
+        final_shards: list[list[np.ndarray]] = [[None] * y_size for _ in range(x_size)]  # type: ignore[list-item]
+        with _telemetry.tracer.span("shard_transform", category="update"):
+            for x in range(x_size):
+                for y in range(y_size):
+                    shard = reduced[x][y].shards[0]
+                    if shard_transform is not None:
+                        transformed = np.asarray(shard_transform(shard))
+                        if transformed.shape != shard.shape:
+                            raise ValueError("shard_transform must preserve shape")
+                        shard = transformed
+                    final_shards[x][y] = shard
+        out = all_gather_grid(final_shards, shape, dtype_policy)
+    if _telemetry.enabled:
+        _telemetry.metrics.counter(
+            "collective_launches", op="two_phase_all_reduce", axis="xy"
+        ).inc()
+    return out
 
 
 # --- reference implementations (retained for bit-identity cross-checks) ----

@@ -13,11 +13,15 @@ way real trainers bucket their gradients.
 
 from __future__ import annotations
 
+import logging
 from typing import Callable, Iterator, Sequence
 
 import numpy as np
 
+from repro import telemetry as _telemetry
 from repro.runtime.bucket import GradientBucket
+
+logger = logging.getLogger("repro.runtime")
 
 
 class VirtualMesh:
@@ -56,6 +60,10 @@ class VirtualMesh:
         if type(array) is not np.ndarray:
             array = np.asarray(array)
         self._buffers.setdefault(name, {})[device] = array
+        if _telemetry.enabled:
+            _telemetry.metrics.counter("mesh_put_bytes", device=device).inc(
+                array.nbytes
+            )
 
     def put_replicated(self, name: str, array: np.ndarray) -> None:
         """Place identical, independent copies of a buffer on every device.
@@ -70,13 +78,22 @@ class VirtualMesh:
         slot = self._buffers.setdefault(name, {})
         for i, d in enumerate(self.devices()):
             slot[d] = block[i]
+        if _telemetry.enabled:
+            _telemetry.metrics.counter("mesh_put_bytes", device="replicated").inc(
+                block.nbytes
+            )
 
     def get(self, name: str, device: tuple[int, int]) -> np.ndarray:
         self._check_device(device)
         try:
-            return self._buffers[name][device]
+            buf = self._buffers[name][device]
         except KeyError:
             raise KeyError(f"buffer {name!r} not present on device {device}") from None
+        if _telemetry.enabled:
+            _telemetry.metrics.counter("mesh_get_bytes", device=device).inc(
+                buf.nbytes
+            )
+        return buf
 
     def get_all(self, name: str) -> list[np.ndarray]:
         """Buffers of every device, in device order."""
@@ -127,6 +144,10 @@ class VirtualMesh:
         bucket = self._buckets.get(key)
         if bucket is None:
             bucket = self._buckets[key] = GradientBucket(template)
+            logger.debug(
+                "mesh %dx%d: new fused bucket for %d tensor(s), %d elems",
+                self.x_size, self.y_size, len(names), bucket.size,
+            )
         return bucket
 
     def all_reduce(
@@ -151,19 +172,25 @@ class VirtualMesh:
             hierarchical = self.x_size > 1 and self.y_size > 1
         if not hierarchical and shard_transform is not None:
             raise ValueError("shard_transform requires the hierarchical schedule")
-        bucket = self._bucket_for(names)
-        trees = [
-            {nm: self.get(nm, d) for nm in names} for d in self.devices()
-        ]
-        reduced = bucket.all_reduce(
-            trees,
-            dtype_policy,
-            grid_shape=(self.x_size, self.y_size) if hierarchical else None,
-            shard_transform=shard_transform,
-        )
-        for tree, d in zip(reduced, self.devices()):
-            for nm in names:
-                self.put(nm, d, tree[nm])
+        with _telemetry.tracer.span("mesh_all_reduce", category="comm"):
+            bucket = self._bucket_for(names)
+            trees = [
+                {nm: self.get(nm, d) for nm in names} for d in self.devices()
+            ]
+            reduced = bucket.all_reduce(
+                trees,
+                dtype_policy,
+                grid_shape=(self.x_size, self.y_size) if hierarchical else None,
+                shard_transform=shard_transform,
+            )
+            for tree, d in zip(reduced, self.devices()):
+                for nm in names:
+                    self.put(nm, d, tree[nm])
+        if _telemetry.enabled:
+            _telemetry.metrics.counter(
+                "mesh_allreduce_launches",
+                schedule="2d" if hierarchical else "ring",
+            ).inc()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -1,0 +1,248 @@
+"""Process-wide runtime metrics: counters, gauges, fixed-bucket histograms.
+
+The registry is the numeric half of the telemetry subsystem (the
+:mod:`repro.telemetry.tracer` spans are the timeline half).  Metrics are
+organized as *families* — one family per metric name, fanned out into
+labeled children::
+
+    metrics.counter("collective_bytes", op="reduce_scatter", axis="y").inc(n)
+
+Children are created on first use and live until :meth:`MetricsRegistry.reset`.
+The lookup path is one dict access on a tuple key, cheap enough to sit on
+the collective hot path (the instrumented kernels run for milliseconds; a
+labeled child lookup is ~100 ns).
+
+Snapshots are plain dicts (JSON-ready via :meth:`MetricsRegistry.to_json`);
+*collector* callbacks registered with
+:meth:`MetricsRegistry.register_collector` run at snapshot time, which is
+how cheap cache statistics (e.g. the padding-layout ``lru_cache`` in
+:mod:`repro.runtime.collectives`) surface as gauges without per-call cost.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+from bisect import bisect_left
+from typing import Callable, Iterable, Mapping
+
+logger = logging.getLogger("repro.telemetry")
+
+#: Default histogram upper bounds for second-valued observations: six
+#: decades from 1 µs to 100 s (an implicit +inf overflow bucket follows).
+DEFAULT_TIME_BUCKETS: tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0,
+)
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: Mapping[str, object]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing sum."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelKey) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (last write wins)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelKey) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket histogram: counts per upper bound plus an overflow bucket.
+
+    ``buckets`` are strictly increasing *inclusive* upper bounds (``le``
+    semantics, as in Prometheus): an observation lands in the first bucket
+    whose bound is >= the value, or in the implicit +inf overflow bucket.
+    ``sum``/``count`` track the running total and number of observations,
+    so means survive the bucketing.
+    """
+
+    __slots__ = ("name", "labels", "buckets", "counts", "sum", "count")
+
+    def __init__(self, name: str, labels: LabelKey, buckets: tuple[float, ...]) -> None:
+        self.name = name
+        self.labels = labels
+        self.buckets = buckets
+        self.counts = [0] * (len(buckets) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+class _Family:
+    """All labeled children of one metric name, plus its kind/bucket spec."""
+
+    __slots__ = ("name", "kind", "buckets", "children")
+
+    def __init__(self, name: str, kind: str, buckets: tuple[float, ...] | None) -> None:
+        self.name = name
+        self.kind = kind
+        self.buckets = buckets
+        self.children: dict[LabelKey, Counter | Gauge | Histogram] = {}
+
+
+class MetricsRegistry:
+    """Get-or-create registry of metric families with labeled children.
+
+    A module-level instance (``repro.telemetry.metrics``) serves the whole
+    process; independent registries can be created for tests.  Creation is
+    lock-protected; increments rely on the GIL (single mutating bytecode
+    ops), which matches the single-threaded functional runtime.
+    """
+
+    def __init__(self) -> None:
+        self._families: dict[str, _Family] = {}
+        self._collectors: list[Callable[[MetricsRegistry], None]] = []
+        self._lock = threading.Lock()
+
+    # --- get-or-create ------------------------------------------------------
+
+    def _child(
+        self,
+        name: str,
+        kind: str,
+        labels: Mapping[str, object],
+        buckets: tuple[float, ...] | None = None,
+    ):
+        family = self._families.get(name)
+        if family is None:
+            with self._lock:
+                family = self._families.get(name)
+                if family is None:
+                    family = self._families[name] = _Family(name, kind, buckets)
+        if family.kind != kind:
+            raise ValueError(
+                f"metric {name!r} is a {family.kind}, requested as {kind}"
+            )
+        if kind == "histogram" and buckets is not None and family.buckets != buckets:
+            raise ValueError(f"histogram {name!r} already registered with different buckets")
+        key = _label_key(labels)
+        child = family.children.get(key)
+        if child is None:
+            with self._lock:
+                child = family.children.get(key)
+                if child is None:
+                    if kind == "counter":
+                        child = Counter(name, key)
+                    elif kind == "gauge":
+                        child = Gauge(name, key)
+                    else:
+                        child = Histogram(name, key, family.buckets or DEFAULT_TIME_BUCKETS)
+                    family.children[key] = child
+        return child
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        return self._child(name, "counter", labels)
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        return self._child(name, "gauge", labels)
+
+    def histogram(
+        self, name: str, buckets: Iterable[float] | None = None, **labels: object
+    ) -> Histogram:
+        spec = tuple(buckets) if buckets is not None else None
+        if spec is not None and list(spec) != sorted(set(spec)):
+            raise ValueError("histogram buckets must be strictly increasing")
+        return self._child(name, "histogram", labels, spec)
+
+    # --- collectors ---------------------------------------------------------
+
+    def register_collector(self, fn: Callable[[MetricsRegistry], None]) -> None:
+        """Run ``fn(registry)`` at every snapshot (for pull-style gauges)."""
+        with self._lock:
+            if fn not in self._collectors:
+                self._collectors.append(fn)
+
+    # --- read side ----------------------------------------------------------
+
+    def value(self, name: str, **labels: object) -> float:
+        """Scalar value of one counter/gauge child (0.0 if never touched)."""
+        family = self._families.get(name)
+        if family is None:
+            return 0.0
+        child = family.children.get(_label_key(labels))
+        if child is None or isinstance(child, Histogram):
+            return 0.0
+        return child.value
+
+    def total(self, name: str) -> float:
+        """Sum of one counter family over all its labeled children."""
+        family = self._families.get(name)
+        if family is None:
+            return 0.0
+        return sum(
+            c.value for c in family.children.values() if not isinstance(c, Histogram)
+        )
+
+    def snapshot(self) -> dict:
+        """All metrics as a JSON-ready dict (runs registered collectors)."""
+        for fn in list(self._collectors):
+            try:
+                fn(self)
+            except Exception:  # a broken collector must not kill a report
+                logger.exception("telemetry collector %r failed", fn)
+        out: dict = {}
+        for name, family in sorted(self._families.items()):
+            values = []
+            for key in sorted(family.children):
+                child = family.children[key]
+                entry: dict = {"labels": dict(key)}
+                if isinstance(child, Histogram):
+                    entry.update(
+                        buckets=list(child.buckets),
+                        counts=list(child.counts),
+                        sum=child.sum,
+                        count=child.count,
+                    )
+                else:
+                    entry["value"] = child.value
+                values.append(entry)
+            out[name] = {"type": family.kind, "values": values}
+        return out
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent)
+
+    def reset(self) -> None:
+        """Drop every family and child (collectors stay registered)."""
+        with self._lock:
+            self._families.clear()

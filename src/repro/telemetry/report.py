@@ -1,0 +1,245 @@
+"""Render telemetry into a step-time breakdown and Chrome-trace JSON.
+
+This is the read side of the telemetry subsystem and the body of the
+``repro-telemetry`` console script:
+
+* :func:`step_breakdown` — aggregate the measured spans into a per-phase
+  table (total seconds, calls, share of the enclosing step time), the
+  Table 3 / Figure 6/8-style attribution of where a step goes;
+* :func:`chrome_trace` — merged ``chrome://tracing`` JSON: measured spans,
+  optionally a simulated :class:`~repro.sim.trace.Trace` on its own
+  ``pid`` lane, and final counter values as Chrome counter (``ph: "C"``)
+  events;
+* :func:`demo_run` / :func:`main` — drive a real
+  :class:`~repro.core.weight_update_sharding.WeightUpdateShardedTrainer`
+  run plus a fused :class:`~repro.runtime.mesh.VirtualMesh` all-reduce on
+  an ``x*y`` mesh, alongside the discrete-event schedule of the same
+  collective, then print the breakdown and write the merged trace.
+
+The ``print`` calls in :func:`main` are the CLI's report output and stay
+on stdout deliberately (diagnostics go through the ``repro.telemetry``
+logger).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import logging
+from collections import defaultdict
+
+import numpy as np
+
+from repro import telemetry
+from repro.sim.trace import Trace
+
+logger = logging.getLogger("repro.telemetry")
+
+
+def step_breakdown(trace: Trace | None = None, registry=None) -> str:
+    """Aggregate spans into an aligned per-phase table.
+
+    Rows are (category, span name) pairs with total seconds, call count,
+    and percentage of the total ``train_step`` span time (or of the whole
+    trace span when no step spans were recorded).  A second block lists
+    the headline counters: collective traffic, bucket flatten cost, and
+    cache hit rates.
+    """
+    trace = trace if trace is not None else telemetry.tracer.trace
+    registry = registry if registry is not None else telemetry.metrics
+    totals: dict[tuple[str, str], list[float]] = defaultdict(lambda: [0.0, 0])
+    step_total = 0.0
+    for e in trace.events:
+        agg = totals[(e.category or "default", e.name)]
+        agg[0] += e.duration
+        agg[1] += 1
+        if e.name == "train_step":
+            step_total += e.duration
+    if step_total <= 0.0:
+        start, end = trace.span()
+        step_total = end - start
+    lines = [
+        f"{'category':<10} {'span':<24} {'total_s':>10} {'calls':>7} {'% step':>7}",
+        "-" * 62,
+    ]
+    for (category, name), (seconds, calls) in sorted(
+        totals.items(), key=lambda kv: -kv[1][0]
+    ):
+        pct = 100.0 * seconds / step_total if step_total > 0 else 0.0
+        lines.append(
+            f"{category:<10} {name:<24} {seconds:>10.4f} {calls:>7d} {pct:>6.1f}%"
+        )
+    snap = registry.snapshot()
+    counter_lines = []
+    for name in (
+        "collective_bytes",
+        "collective_ring_steps",
+        "bucket_flatten_seconds",
+        "bucket_flatten_bytes",
+        "bucket_segment_cache_hits",
+        "bucket_segment_cache_misses",
+        "train_steps",
+        "input_prefetch_stall_seconds",
+    ):
+        family = snap.get(name)
+        if not family:
+            continue
+        for entry in family["values"]:
+            labels = ",".join(f"{k}={v}" for k, v in sorted(entry["labels"].items()))
+            label_part = f"{{{labels}}}" if labels else ""
+            counter_lines.append(
+                f"{name + label_part:<56} {entry['value']:>14.6g}"
+            )
+    if counter_lines:
+        lines.append("")
+        lines.append("counters")
+        lines.append("-" * 62)
+        lines.extend(counter_lines)
+    return "\n".join(lines)
+
+
+def chrome_trace(
+    measured: Trace | None = None,
+    sim_trace: Trace | None = None,
+    registry=None,
+) -> list[dict]:
+    """Merged Chrome-trace events: measured + simulated spans + counters.
+
+    Measured spans keep their ``"measured"`` source lane; ``sim_trace``
+    events are re-tagged ``"sim"`` so the two render as separate processes
+    in ``chrome://tracing``.  Final counter/gauge values from the registry
+    are appended as Chrome counter events (``ph: "C"``) at the trace end,
+    one per metric family, with one series per labeled child.
+    """
+    measured = measured if measured is not None else telemetry.tracer.trace
+    registry = registry if registry is not None else telemetry.metrics
+    merged = Trace().merge(measured)
+    if sim_trace is not None:
+        merged.merge(sim_trace, source="sim")
+    events = merged.to_chrome_trace()
+    _, end = merged.span()
+    for name, family in registry.snapshot().items():
+        if family["type"] == "histogram":
+            continue
+        series = {}
+        for entry in family["values"]:
+            label = ",".join(f"{k}={v}" for k, v in sorted(entry["labels"].items()))
+            series[label or "value"] = entry["value"]
+        if series:
+            events.append(
+                {
+                    "name": name,
+                    "ph": "C",
+                    "ts": end * 1e6,
+                    "pid": 0,
+                    "tid": "counters",
+                    "args": series,
+                }
+            )
+    return events
+
+
+def write_chrome_trace(
+    path: str,
+    measured: Trace | None = None,
+    sim_trace: Trace | None = None,
+    registry=None,
+) -> None:
+    """Write merged Chrome-trace JSON (the ``traceEvents`` wrapper form)."""
+    events = chrome_trace(measured, sim_trace, registry)
+    with open(path, "w") as f:
+        json.dump({"traceEvents": events}, f)
+    logger.info("wrote %d chrome-trace events to %s", len(events), path)
+
+
+def demo_run(
+    x_size: int = 8, y_size: int = 4, steps: int = 3, seed: int = 0
+) -> Trace:
+    """Exercise the instrumented stack end to end; returns the sim trace.
+
+    Runs (a) a fused :class:`WeightUpdateShardedTrainer` for ``steps``
+    steps with ``x_size * y_size`` replicas, (b) a fused hierarchical
+    all-reduce on an ``x_size x y_size`` :class:`VirtualMesh`, and (c) the
+    discrete-event schedule of the same ring phases on a matching
+    :class:`TorusMesh`, whose predicted phase times are returned as a
+    ``Trace`` for merging against the measured spans.
+    """
+    from repro.comm.schedule import (
+        simulate_ring_all_gather,
+        simulate_ring_reduce_scatter,
+    )
+    from repro.core.weight_update_sharding import WeightUpdateShardedTrainer
+    from repro.hardware.rings import all_y_rings
+    from repro.hardware.topology import TorusMesh
+    from repro.models.mlp import MLP
+    from repro.optim.sgd import SGDMomentum
+    from repro.runtime.mesh import VirtualMesh
+
+    n = x_size * y_size
+    rng = np.random.default_rng(seed)
+
+    # (a) A real training run: every collective, bucket, and trainer span.
+    model = MLP([16, 32, 10])
+    trainer = WeightUpdateShardedTrainer(
+        model, SGDMomentum(learning_rate=0.05), num_replicas=n
+    )
+    trainer.init(rng)
+    for _ in range(steps):
+        x = rng.standard_normal((4 * n, 16))
+        labels = rng.integers(0, 10, size=4 * n)
+        trainer.step(x, labels)
+
+    # (b) The 2-D hierarchical schedule on a virtual mesh of the same size.
+    mesh = VirtualMesh(x_size, y_size)
+    mesh.put_replicated("w", rng.standard_normal(4096).astype(np.float32))
+    mesh.put_replicated("b", rng.standard_normal(512).astype(np.float32))
+    mesh.all_reduce(["w", "b"], dtype_policy="f32")
+
+    # (c) The discrete-event prediction of the same ring phases.
+    torus = TorusMesh(x_size, y_size, wrap_y=True)
+    payload = (4096 + 512) * 4.0
+    rs = simulate_ring_reduce_scatter(torus, all_y_rings(torus), payload)
+    ag = simulate_ring_all_gather(torus, all_y_rings(torus), payload)
+    sim_trace = Trace()
+    sim_trace.record("torus", "reduce_scatter_y", 0.0, rs, "comm")
+    sim_trace.record("torus", "all_gather_y", rs, ag, "comm")
+    return sim_trace
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-telemetry",
+        description="Run an instrumented training demo and report telemetry.",
+    )
+    parser.add_argument("--mesh", default="8x4", help="mesh as XxY (default 8x4)")
+    parser.add_argument("--steps", type=int, default=3, help="training steps")
+    parser.add_argument(
+        "--trace-out", default="telemetry_trace.json",
+        help="Chrome-trace JSON output path",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None,
+        help="optional metrics snapshot JSON output path",
+    )
+    args = parser.parse_args(argv)
+    try:
+        x_size, y_size = (int(p) for p in args.mesh.lower().split("x"))
+    except ValueError:
+        parser.error(f"--mesh must look like 8x4, got {args.mesh!r}")
+    telemetry.reset()
+    sim_trace = demo_run(x_size, y_size, args.steps)
+    print(f"telemetry report — {x_size}x{y_size} mesh, {args.steps} steps")
+    print()
+    print(step_breakdown())
+    write_chrome_trace(args.trace_out, sim_trace=sim_trace)
+    print()
+    print(f"chrome trace written to {args.trace_out} (open in chrome://tracing)")
+    if args.metrics_out:
+        with open(args.metrics_out, "w") as f:
+            f.write(telemetry.metrics.to_json())
+        print(f"metrics snapshot written to {args.metrics_out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

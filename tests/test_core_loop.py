@@ -64,8 +64,10 @@ class TestLoop:
     def test_chrome_trace_exports(self):
         r = _loop()
         events = r.trace.to_chrome_trace()
-        assert len(events) > 20
-        assert all(e["ph"] == "X" for e in events)
+        spans = [e for e in events if e["ph"] == "X"]
+        assert len(spans) > 20
+        assert all(e["ph"] in ("X", "M") for e in events)
+        assert all(e["args"]["actor"] == e["tid"] for e in spans)
 
     def test_validation(self):
         with pytest.raises(ValueError):
