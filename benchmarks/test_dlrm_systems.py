@@ -6,7 +6,6 @@ import pytest
 from repro.core.loop import dlrm_eval_accumulation_ablation
 from repro.models.embedding import (
     ShardedEmbedding,
-    expand_weights_for_mask,
     interaction_gather,
     interaction_masked,
 )

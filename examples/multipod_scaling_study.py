@@ -16,7 +16,7 @@ Run:
 """
 
 from repro.comm.allreduce import flat_ring_allreduce, two_phase_allreduce
-from repro.experiments.scaling import SCALING_CHIPS, sweep
+from repro.experiments.scaling import sweep
 from repro.hardware.topology import multipod
 
 

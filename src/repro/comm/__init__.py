@@ -27,7 +27,13 @@ from repro.comm.allreduce import (
     gradient_allreduce,
 )
 from repro.comm.halo import halo_exchange_time, spatial_shard_shape
-from repro.comm.schedule import simulate_ring_reduce_scatter, simulate_ring_all_gather
+from repro.comm.schedule import (
+    DegradedScheduleResult,
+    simulate_degraded_all_gather,
+    simulate_degraded_reduce_scatter,
+    simulate_ring_all_gather,
+    simulate_ring_reduce_scatter,
+)
 
 __all__ = [
     "reduce_scatter_time",
@@ -42,6 +48,9 @@ __all__ = [
     "gradient_allreduce",
     "halo_exchange_time",
     "spatial_shard_shape",
+    "DegradedScheduleResult",
+    "simulate_degraded_all_gather",
+    "simulate_degraded_reduce_scatter",
     "simulate_ring_reduce_scatter",
     "simulate_ring_all_gather",
 ]

@@ -14,14 +14,16 @@ chunk to its ring neighbor, with a barrier between steps.
 from __future__ import annotations
 
 import logging
+from dataclasses import dataclass
 from functools import lru_cache
 from time import perf_counter as _perf
 
 from repro import telemetry as _telemetry
-from repro.hardware.rings import Ring
+from repro.hardware.rings import Ring, degraded_rings
 
 logger = logging.getLogger("repro.comm")
 from repro.hardware.topology import Coordinate, TorusMesh
+from repro.resilience.faults import FaultPlan, LinkDownError, RetryPolicy
 from repro.sim.engine import Simulator
 from repro.sim.resources import Channel
 
@@ -155,3 +157,184 @@ def simulate_ring_all_gather(
     if isinstance(rings, Ring):
         rings = [rings]
     return _attributed_phase("all_gather", mesh, rings, payload_bytes, bidirectional)
+
+
+# --- fault-aware schedules ----------------------------------------------------
+
+
+@dataclass
+class DegradedScheduleResult:
+    """Outcome of one fault-aware ring phase.
+
+    ``seconds`` is the modeled completion time including retry/backoff
+    stalls; ``retries`` counts transfer attempts burned on down links;
+    ``degraded_transfers`` counts transfers that ran at reduced bandwidth;
+    ``dropped_rings`` counts rings with fewer than two survivors (their
+    payload has no schedule and must be recovered at a higher layer).
+    """
+
+    seconds: float = 0.0
+    retries: int = 0
+    degraded_transfers: int = 0
+    healed_rings: int = 0
+    dropped_rings: int = 0
+    dead_chips: tuple = ()
+
+
+def _send_chunk_with_faults(
+    sim: Simulator,
+    channels,
+    segment,
+    chunk_bytes: float,
+    plan: FaultPlan,
+    policy: RetryPolicy,
+    result: DegradedScheduleResult,
+):
+    """Store-and-forward one chunk, retrying links the plan has taken down.
+
+    A transfer attempt on a down link burns the sender's detection timeout
+    and an exponential backoff before the next attempt; exhausting
+    ``policy.max_attempts`` raises :class:`LinkDownError` into the schedule
+    (failing the whole collective, as a synchronous fleet would observe).
+    """
+    for link in segment:
+        attempt = 0
+        while True:
+            factor = plan.link_factor(link.src, link.dst, sim.now)
+            if factor > 0.0:
+                if factor < 1.0:
+                    result.degraded_transfers += 1
+                    if _telemetry.enabled:
+                        _telemetry.metrics.counter(
+                            "resilience_degraded_transfers"
+                        ).inc()
+                yield from channels[(link.src, link.dst)].transfer(
+                    chunk_bytes, factor=factor
+                )
+                break
+            attempt += 1
+            result.retries += 1
+            if _telemetry.enabled:
+                _telemetry.metrics.counter("resilience_retries").inc()
+            if attempt >= policy.max_attempts:
+                raise LinkDownError(tuple(link.src), tuple(link.dst), attempt)
+            yield sim.timeout(policy.timeout_s + policy.backoff_after(attempt))
+
+
+def _ring_phase_with_faults(
+    sim: Simulator, channels, mesh: TorusMesh, ring: Ring, payload_bytes: float,
+    reverse: bool, plan: FaultPlan, policy: RetryPolicy,
+    result: DegradedScheduleResult,
+):
+    """One direction of a ring phase over fault-injected links."""
+    n = ring.size
+    chunk = payload_bytes / n
+    segments = _ring_segments(mesh, ring, reverse)
+    for _ in range(n - 1):
+        sends = []
+        for seg in segments:
+            sends.append(
+                sim.process(
+                    _send_chunk_with_faults(
+                        sim, channels, seg, chunk, plan, policy, result
+                    ),
+                    name=f"send[{ring.members[0]}..]",
+                )
+            )
+        yield sim.all_of(sends)
+
+
+def _simulate_degraded_phase(
+    phase: str,
+    mesh: TorusMesh,
+    rings: list[Ring] | Ring,
+    payload_bytes: float,
+    plan: FaultPlan,
+    policy: RetryPolicy | None,
+    bidirectional: bool,
+) -> DegradedScheduleResult:
+    if payload_bytes < 0:
+        raise ValueError("payload_bytes must be non-negative")
+    if isinstance(rings, Ring):
+        rings = [rings]
+    policy = policy if policy is not None else RetryPolicy()
+    dead = plan.dead_at_time(0.0)
+    healed = degraded_rings(rings, dead)
+    result = DegradedScheduleResult(
+        healed_rings=len(healed),
+        dropped_rings=len(rings) - len(healed),
+        dead_chips=tuple(sorted(dead)),
+    )
+    if result.dropped_rings:
+        logger.warning(
+            "%s: %d of %d rings dropped (fewer than 2 survivors)",
+            phase, result.dropped_rings, len(rings),
+        )
+    t0 = _perf()
+    sim = Simulator()
+    channels = _build_channels(sim, mesh)
+    for ring in healed:
+        if ring.size < 2:
+            continue
+        if bidirectional and ring.closed:
+            for rev in (False, True):
+                sim.process(
+                    _ring_phase_with_faults(
+                        sim, channels, mesh, ring, payload_bytes / 2, rev,
+                        plan, policy, result,
+                    ),
+                    name=f"{phase}[{ring.members[0]}]",
+                )
+        else:
+            sim.process(
+                _ring_phase_with_faults(
+                    sim, channels, mesh, ring, payload_bytes, False,
+                    plan, policy, result,
+                ),
+                name=f"{phase}[{ring.members[0]}]",
+            )
+    result.seconds = sim.run()
+    if _telemetry.enabled:
+        m = _telemetry.metrics
+        m.counter("sim_phase_modeled_seconds", phase=phase).inc(result.seconds)
+        m.counter("sim_phase_wall_seconds", phase=phase).inc(_perf() - t0)
+        m.counter("sim_phase_runs", phase=phase).inc()
+    return result
+
+
+def simulate_degraded_reduce_scatter(
+    mesh: TorusMesh,
+    rings: list[Ring] | Ring,
+    payload_bytes: float,
+    plan: FaultPlan,
+    *,
+    policy: RetryPolicy | None = None,
+    bidirectional: bool = True,
+) -> DegradedScheduleResult:
+    """Reduce-scatter completion time on a faulted mesh.
+
+    Rings are first healed over the plan's dead chips (survivors hop over
+    the holes, Figure 4 style); transfers then run against the plan's link
+    faults — degraded links slow down, down links retry with backoff and
+    ultimately raise :class:`LinkDownError` out of this call.
+    """
+    return _simulate_degraded_phase(
+        "reduce_scatter_degraded", mesh, rings, payload_bytes, plan, policy,
+        bidirectional,
+    )
+
+
+def simulate_degraded_all_gather(
+    mesh: TorusMesh,
+    rings: list[Ring] | Ring,
+    payload_bytes: float,
+    plan: FaultPlan,
+    *,
+    policy: RetryPolicy | None = None,
+    bidirectional: bool = True,
+) -> DegradedScheduleResult:
+    """All-gather twin of :func:`simulate_degraded_reduce_scatter`."""
+    return _simulate_degraded_phase(
+        "all_gather_degraded", mesh, rings, payload_bytes, plan, policy,
+        bidirectional,
+    )

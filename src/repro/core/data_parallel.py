@@ -18,8 +18,20 @@ import numpy as np
 from repro import telemetry as _telemetry
 from repro.models.mlp import MLP
 from repro.optim.base import Optimizer, OptimizerState, Params
+from repro.resilience.checkpoint import TrainerCheckpoint, record_checkpoint_metrics
 from repro.runtime.bucket import GradientBucket
 from repro.runtime.collectives import ring_all_reduce, two_phase_all_reduce
+
+
+def _copy_params(params: Params) -> Params:
+    return {name: np.asarray(arr).copy() for name, arr in params.items()}
+
+
+def _copy_state(state: OptimizerState) -> OptimizerState:
+    return {
+        name: {slot: np.asarray(arr).copy() for slot, arr in slots.items()}
+        for name, slots in state.items()
+    }
 
 
 @dataclass
@@ -66,6 +78,25 @@ class SingleDeviceTrainer:
             x, labels = next(batches)
             losses.append(self.step(x, labels))
         return TrainLog(losses)
+
+    def save_checkpoint(self) -> TrainerCheckpoint:
+        """Snapshot params + optimizer state (deep copies) at this step."""
+        if self.params is None or self.state is None:
+            raise RuntimeError("call init() before save_checkpoint()")
+        ckpt = TrainerCheckpoint(
+            step_index=self.step_index,
+            params=_copy_params(self.params),
+            opt_state=_copy_state(self.state),
+            trainer=type(self).__name__,
+        )
+        record_checkpoint_metrics(ckpt, type(self).__name__)
+        return ckpt
+
+    def restore_checkpoint(self, ckpt: TrainerCheckpoint) -> None:
+        """Resume from a snapshot; bit-identical to never interrupting."""
+        self.params = _copy_params(ckpt.params)
+        self.state = _copy_state(ckpt.opt_state)
+        self.step_index = ckpt.step_index
 
 
 class DataParallelTrainer:
@@ -192,3 +223,30 @@ class DataParallelTrainer:
             x, labels = next(batches)
             losses.append(self.step(x, labels))
         return TrainLog(losses)
+
+    def save_checkpoint(self) -> TrainerCheckpoint:
+        """Snapshot the replicated params + optimizer state (deep copies)."""
+        if self.params is None or self.state is None:
+            raise RuntimeError("call init() before save_checkpoint()")
+        ckpt = TrainerCheckpoint(
+            step_index=self.step_index,
+            params=_copy_params(self.params),
+            opt_state=_copy_state(self.state),
+            trainer=type(self).__name__,
+        )
+        record_checkpoint_metrics(ckpt, type(self).__name__)
+        return ckpt
+
+    def restore_checkpoint(self, ckpt: TrainerCheckpoint) -> None:
+        """Resume from a snapshot, on this trainer's replica mesh.
+
+        The restoring trainer's ``dp_x x dp_y`` may differ from the
+        producer's (elastic restore onto the surviving mesh): params and
+        optimizer state are replicated, so only the gradient-bucket layout
+        cache needs resetting.  Resuming is bit-identical to an
+        uninterrupted run *of this mesh shape* fed the same data.
+        """
+        self.params = _copy_params(ckpt.params)
+        self.state = _copy_state(ckpt.opt_state)
+        self.step_index = ckpt.step_index
+        self._bucket = None

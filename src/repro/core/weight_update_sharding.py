@@ -27,6 +27,12 @@ import numpy as np
 
 from repro import telemetry as _telemetry
 from repro.optim.base import Optimizer, OptimizerState, Params
+from repro.resilience.checkpoint import (
+    TrainerCheckpoint,
+    record_checkpoint_metrics,
+    unshard_state_segments,
+    unshard_states,
+)
 from repro.runtime.bucket import GradientBucket
 from repro.runtime.collectives import (
     ShardedValue,
@@ -34,7 +40,11 @@ from repro.runtime.collectives import (
     ring_all_gather,
     ring_reduce_scatter,
 )
-from repro.core.data_parallel import DataParallelTrainer
+from repro.core.data_parallel import (
+    DataParallelTrainer,
+    _copy_params,
+    _copy_state,
+)
 
 
 def _chunk(flat: np.ndarray, num_devices: int) -> list[np.ndarray]:
@@ -320,3 +330,52 @@ class WeightUpdateShardedTrainer(DataParallelTrainer):
         self.step_index += 1
         self._record_step(_perf() - t0)
         return float(np.mean(losses))
+
+    def save_checkpoint(self) -> TrainerCheckpoint:
+        """Snapshot with the sharded optimizer state **reassembled**.
+
+        The slots only exist sharded (that is WUS's memory saving), but a
+        checkpoint must be shape-independent: each slot is gathered from
+        its per-device shards into the full replicated tensor, so the
+        snapshot can restore onto any replica count.  Reassembly is pure
+        data movement — no arithmetic — so a same-shape round trip is
+        bit-exact.
+        """
+        if self.params is None or self.sharded_state is None:
+            raise RuntimeError("call init() before save_checkpoint()")
+        if self.fused:
+            assert self._bucket is not None
+            full = unshard_state_segments(self.sharded_state, self._bucket)
+        else:
+            full = unshard_states(self.sharded_state, self.params)
+        ckpt = TrainerCheckpoint(
+            step_index=self.step_index,
+            params=_copy_params(self.params),
+            opt_state=full,
+            trainer=type(self).__name__,
+        )
+        record_checkpoint_metrics(ckpt, type(self).__name__)
+        return ckpt
+
+    def restore_checkpoint(self, ckpt: TrainerCheckpoint) -> None:
+        """Restore by **resharding** the full state onto this trainer's mesh.
+
+        GSPMD-style resharding in miniature: the checkpoint holds assembled
+        tensors; the restore re-runs the same segment/chunk sharding that
+        ``init`` performs, but over the checkpointed values and this
+        trainer's (possibly different) ``num_replicas``.  A checkpoint
+        taken on n devices therefore restores onto the n-1 survivors — or
+        any other shape — with identical training semantics.
+        """
+        self.params = _copy_params(ckpt.params)
+        self.step_index = ckpt.step_index
+        full = _copy_state(ckpt.opt_state)
+        if self.fused:
+            self._bucket = GradientBucket(self.params, dtype=np.float64)
+            self.sharded_state = shard_state_segments(
+                full, self._bucket, self.num_replicas
+            )
+        else:
+            self._bucket = None
+            self.sharded_state = shard_states(full, self.num_replicas)
+        self.state = None  # slots only exist sharded, as after init()

@@ -18,6 +18,7 @@ paper-vs-measured for each.
 | figure11  | speedup over 16 chips of own type, TPU vs GPU           |
 | ablations | WUS, 1-D vs 2-D all-reduce, MaskRCNN comm, shuffle,     |
 |           | input pipeline, DLRM input, AUC                         |
+| availability | goodput vs failure rate x pod size, chaos-run demo   |
 """
 
 from repro.experiments.calibration import CALIBRATIONS, Calibration, end_to_end_model

@@ -16,6 +16,7 @@ import sys
 
 from repro.experiments import (
     ablations,
+    availability,
     sensitivity,
     figure5,
     figure6,
@@ -40,6 +41,7 @@ EXPERIMENTS = {
     "figure11": figure11.run,
     "ablations": ablations.run,
     "sensitivity": sensitivity.run,
+    "availability": availability.run,
 }
 
 

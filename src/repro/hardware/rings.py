@@ -19,6 +19,7 @@ Section 3.3 of the paper builds three families of reduction rings:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
 from repro.hardware.routing import dimension_ordered_path, path_links
 from repro.hardware.topology import Coordinate, Link, TorusMesh
@@ -114,6 +115,42 @@ def model_group(mesh: TorusMesh, coord: Coordinate, mp_size: int) -> tuple[Coord
         )
     base = (coord.x // mp_size) * mp_size
     return tuple(Coordinate(base + i, coord.y) for i in range(mp_size))
+
+
+def degraded_ring(ring: Ring, dead: Iterable[Coordinate]) -> Ring | None:
+    """Heal a ring around dead chips by hopping over the holes.
+
+    Survivors keep their ring order; the segment between the neighbors of a
+    dead chip is the dimension-ordered path *through* the hole's position
+    — exactly the model-peer hop of Figure 4, applied to an unplanned hole
+    (ICI links remain switchable through a failed chip's router, so only
+    the chip's compute and buffers are lost).  Returns ``None`` when fewer
+    than two members survive (no ring schedule is possible).
+
+    ``hop_stride`` is preserved from the source ring: it describes the
+    *planned* member spacing; the healed holes are irregular and are
+    visible only through :meth:`Ring.segments`.
+    """
+    dead = set(tuple(d) for d in dead)
+    members = tuple(m for m in ring.members if tuple(m) not in dead)
+    if len(members) < 2:
+        return None
+    if len(members) == len(ring.members):
+        return ring
+    return Ring(members, closed=ring.closed, hop_stride=ring.hop_stride)
+
+
+def degraded_rings(
+    rings: Iterable[Ring], dead: Iterable[Coordinate]
+) -> list[Ring]:
+    """Heal every ring, dropping those with fewer than two survivors."""
+    dead = set(tuple(d) for d in dead)
+    healed = []
+    for ring in rings:
+        survivor = degraded_ring(ring, dead)
+        if survivor is not None:
+            healed.append(survivor)
+    return healed
 
 
 def model_peer_ring(mesh: TorusMesh, y: int, mp_size: int, peer_id: int) -> Ring:

@@ -1,0 +1,64 @@
+"""Fault injection, checkpoint/restore, and elastic degraded-mode training.
+
+The reproduction's execution substrates (the functional
+:class:`~repro.runtime.mesh.VirtualMesh`, the discrete-event collective
+schedules, the :mod:`repro.core` trainers) assume a healthy fleet; this
+subpackage adds the failure surface the paper's 4096-chip lockstep runs
+actually face:
+
+* :mod:`repro.resilience.faults` — deterministic seeded
+  :class:`~repro.resilience.faults.FaultPlan` (chip/host death, link
+  degradation and flaps, stragglers) plus the typed errors
+  (:class:`~repro.resilience.faults.DeviceLostError`,
+  :class:`~repro.resilience.faults.LinkDownError`) raised by faulted
+  substrates;
+* :mod:`repro.resilience.checkpoint` — snapshot/restore of the full
+  (sharded) param + optimizer state of both trainers, with GSPMD-style
+  resharding so a checkpoint restores onto a *different* mesh shape;
+* :mod:`repro.resilience.chaos` — the elastic harness: run a trainer under
+  a fault plan, checkpoint on an interval, shrink to the surviving replica
+  set on device loss, restore and replay, and account goodput (lost steps,
+  restarts, restart seconds, MTTR).
+
+Only :mod:`.faults` is imported eagerly — it is a leaf module, which lets
+low-level modules (``repro.runtime.mesh``, ``repro.comm.schedule``) import
+the typed errors without a cycle; ``checkpoint`` and ``chaos`` load on
+first attribute access (PEP 562).
+"""
+
+from __future__ import annotations
+
+import importlib
+
+from repro.resilience.faults import (
+    ChipFailure,
+    Device,
+    DeviceLostError,
+    FaultPlan,
+    LinkDownError,
+    LinkFault,
+    RetryPolicy,
+    StragglerFault,
+    host_failure,
+)
+
+_LAZY_SUBMODULES = ("chaos", "checkpoint", "faults")
+
+__all__ = [
+    "ChipFailure",
+    "Device",
+    "DeviceLostError",
+    "FaultPlan",
+    "LinkDownError",
+    "LinkFault",
+    "RetryPolicy",
+    "StragglerFault",
+    "host_failure",
+    *_LAZY_SUBMODULES,
+]
+
+
+def __getattr__(name: str):
+    if name in _LAZY_SUBMODULES:
+        return importlib.import_module(f"repro.resilience.{name}")
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

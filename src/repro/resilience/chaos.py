@@ -1,0 +1,232 @@
+"""Elastic chaos harness: train through an injected fault plan.
+
+The harness drives a trainer step-by-step against a :class:`FaultPlan`,
+modelling the recovery loop of a synchronous TPU fleet:
+
+* every ``checkpoint_interval`` steps the trainer snapshots its full state
+  (plus an initial snapshot at step 0, before any work);
+* when the plan kills a chip mid-step, the partial step is wasted, the
+  fleet burns a detection timeout, reloads the last checkpoint, and —
+  this is the *elastic* part — resumes on the **survivors**: the trainer
+  is rebuilt for the smaller replica count and the checkpoint is
+  resharded onto it;
+* stragglers inflate the modeled step time (synchronous SPMD runs at the
+  speed of the slowest chip) without changing the math.
+
+Because a restore replays from the last checkpoint with the same data
+order, the final parameters are **bit-identical** to an uninterrupted run
+on the surviving mesh shape restored from the same snapshot — the chaos
+tests pin this.
+
+Goodput here is the paper-style availability ratio: the time an ideal
+fault-free run would need divided by the modeled wall time actually
+spent (re-executed steps, detection timeouts, restore transfers and
+straggler inflation all count against it).
+
+The same loop runs without a trainer (``trainer_factory=None``) as a pure
+timeline model, which is what lets :mod:`repro.experiments.availability`
+sweep thousands of chips without doing any numerics.
+"""
+
+from __future__ import annotations
+
+import logging
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import telemetry as _telemetry
+from repro.resilience.faults import DeviceLostError, FaultPlan
+
+logger = logging.getLogger("repro.resilience")
+
+#: ``trainer_factory(num_replicas)`` must return an *initialized* trainer
+#: exposing ``step``/``save_checkpoint``/``restore_checkpoint``.
+TrainerFactory = Callable[[int], object]
+
+#: ``batch_fn(step)`` must return the deterministic global batch of a step
+#: — the same data order regardless of how many replicas split it.
+BatchFn = Callable[[int], tuple[np.ndarray, np.ndarray]]
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Knobs of the recovery loop and its timeline model.
+
+    ``mesh_shape`` is the logical ``(x, y)`` chip grid the fault plan
+    targets; replicas map x-major onto it.  ``base_step_seconds`` is the
+    modeled fault-free step time; restore cost is a detection timeout plus
+    moving the checkpoint back over ``restore_bandwidth_bytes_per_s``
+    (checkpoint *writes* are treated as asynchronous and free, matching
+    the usual snapshot-to-host overlap).
+    """
+
+    mesh_shape: tuple[int, int]
+    target_steps: int
+    checkpoint_interval: int = 5
+    base_step_seconds: float = 1.0
+    detection_timeout_s: float = 0.5
+    restore_bandwidth_bytes_per_s: float = 1e9
+
+    def __post_init__(self) -> None:
+        if self.target_steps < 0:
+            raise ValueError("target_steps must be >= 0")
+        if self.checkpoint_interval < 1:
+            raise ValueError("checkpoint_interval must be >= 1")
+        if self.base_step_seconds <= 0:
+            raise ValueError("base_step_seconds must be > 0")
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one chaos run: goodput accounting plus the final state."""
+
+    steps_executed: int = 0
+    device_failures: int = 0
+    restarts: int = 0
+    lost_steps: int = 0
+    checkpoints_taken: int = 0
+    restart_seconds: float = 0.0
+    total_seconds: float = 0.0
+    useful_seconds: float = 0.0
+    survivors: int = 0
+    losses: list[float] = field(default_factory=list)
+    final_params: dict[str, np.ndarray] | None = None
+
+    @property
+    def goodput(self) -> float:
+        """Fault-free seconds of useful work per modeled wall-clock second."""
+        if self.total_seconds <= 0.0:
+            return 1.0
+        return self.useful_seconds / self.total_seconds
+
+    @property
+    def mttr_seconds(self) -> float:
+        """Mean time to recover: average restart latency over all restarts."""
+        if self.restarts == 0:
+            return 0.0
+        return self.restart_seconds / self.restarts
+
+
+def _straggler_slowdown(
+    plan: FaultPlan, alive: list[tuple[int, int]], step: int
+) -> float:
+    """Synchronous step slowdown: the fleet waits for the slowest chip."""
+    return max(plan.straggler_factor(device, step) for device in alive)
+
+
+def run_chaos(
+    plan: FaultPlan,
+    config: ChaosConfig,
+    *,
+    trainer_factory: TrainerFactory | None = None,
+    batch_fn: BatchFn | None = None,
+    state_bytes: int = 0,
+) -> ChaosReport:
+    """Train ``config.target_steps`` steps through the plan's failures.
+
+    With a ``trainer_factory`` the run does real numerics: the factory is
+    called with the current survivor count whenever the fleet (re)forms,
+    and every restore reshards the last checkpoint onto it.  The global
+    batch from ``batch_fn`` must stay divisible by every survivor count
+    the plan can produce.
+
+    Without one the loop is pure goodput accounting over ``state_bytes``
+    of checkpoint payload — no arrays move, so it scales to pod-size
+    sweeps.
+
+    Raises :class:`DeviceLostError` if the plan exterminates every chip.
+    """
+    if (trainer_factory is None) != (batch_fn is None):
+        raise ValueError("trainer_factory and batch_fn go together")
+    x_size, y_size = config.mesh_shape
+    alive = [(x, y) for x in range(x_size) for y in range(y_size)]
+    report = ChaosReport()
+
+    trainer = trainer_factory(len(alive)) if trainer_factory else None
+    ckpt = trainer.save_checkpoint() if trainer else None
+    ckpt_step = 0
+    ckpt_bytes = ckpt.nbytes if ckpt is not None else state_bytes
+    report.checkpoints_taken += 1
+
+    step = 0
+    while step < config.target_steps:
+        hits = [
+            device
+            for device in plan.chip_failures_at_step(step)
+            if device in alive
+        ]
+        if hits:
+            for device in hits:
+                alive.remove(device)
+            report.device_failures += len(hits)
+            if _telemetry.enabled:
+                _telemetry.metrics.counter("resilience_device_failures").inc(
+                    len(hits)
+                )
+            if not alive:
+                raise DeviceLostError(
+                    hits,
+                    "fault plan killed every chip; nothing left to restore onto",
+                )
+            # The step the failure interrupted is wasted, along with every
+            # step completed since the last checkpoint (they get redone).
+            report.total_seconds += (
+                config.base_step_seconds * _straggler_slowdown(plan, alive, step)
+            )
+            lost = (step - ckpt_step) + 1
+            report.lost_steps += lost
+            restart_s = (
+                config.detection_timeout_s
+                + ckpt_bytes / config.restore_bandwidth_bytes_per_s
+            )
+            report.restarts += 1
+            report.restart_seconds += restart_s
+            report.total_seconds += restart_s
+            if _telemetry.enabled:
+                m = _telemetry.metrics
+                m.counter("resilience_lost_steps").inc(lost)
+                m.counter("resilience_restarts").inc()
+                m.counter("resilience_restart_seconds").inc(restart_s)
+                m.gauge("resilience_mttr_seconds").set(report.mttr_seconds)
+            logger.warning(
+                "chip failure at step %d (%s): rewinding to step %d on %d "
+                "survivors (%d steps lost, %.3fs restart)",
+                step, hits, ckpt_step, len(alive), lost,
+                restart_s,
+            )
+            if trainer_factory is not None:
+                with _telemetry.tracer.span(
+                    "chaos_restart", category="resilience", actor="chaos"
+                ):
+                    trainer = trainer_factory(len(alive))
+                    trainer.restore_checkpoint(ckpt)
+            step = ckpt_step
+            continue
+
+        slowdown = _straggler_slowdown(plan, alive, step)
+        if trainer is not None:
+            assert batch_fn is not None
+            x, labels = batch_fn(step)
+            report.losses.append(trainer.step(x, labels))
+        report.total_seconds += config.base_step_seconds * slowdown
+        report.steps_executed += 1
+        step += 1
+        if step % config.checkpoint_interval == 0 and step < config.target_steps:
+            if trainer is not None:
+                ckpt = trainer.save_checkpoint()
+                ckpt_bytes = ckpt.nbytes
+            ckpt_step = step
+            report.checkpoints_taken += 1
+
+    report.useful_seconds = config.target_steps * config.base_step_seconds
+    report.survivors = len(alive)
+    if trainer is not None:
+        report.final_params = trainer.params
+    logger.info(
+        "chaos run done: %d/%d steps useful, %d failures, goodput %.3f",
+        config.target_steps, report.steps_executed, report.device_failures,
+        report.goodput,
+    )
+    return report

@@ -1,0 +1,360 @@
+"""Deterministic fault model: seeded plans of chip, link, and straggler faults.
+
+The paper's Multipod runs 4096 chips in lockstep, so a single preempted
+host, flapped optical link, or straggler chip stalls every synchronous
+collective.  This module provides the *plan* side of chaos engineering for
+the reproduction: a :class:`FaultPlan` is an immutable, seed-deterministic
+schedule of fault events that both execution substrates consume —
+
+* the functional :class:`~repro.runtime.mesh.VirtualMesh` (a dead device
+  makes its buffers unreachable; collectives either heal over survivors or
+  raise :class:`DeviceLostError`),
+* the discrete-event collective schedules in :mod:`repro.comm.schedule`
+  (link faults degrade bandwidth or hard-fail transfers, which retry with
+  backoff and eventually raise :class:`LinkDownError`),
+* the elastic training harness in :mod:`repro.resilience.chaos` (chip
+  failures interrupt steps; checkpoints restore onto the surviving mesh).
+
+Determinism is the point: the same seed replays the same churn, so chaos
+tests pin exact goodput numbers and bit-identical recovery.
+
+Devices are plain ``(x, y)`` tuples, compatible with both
+``VirtualMesh`` device keys and ``repro.hardware.topology.Coordinate``
+(a NamedTuple — tuple equality holds across the two).
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+logger = logging.getLogger("repro.resilience")
+
+#: A device address: ``(x, y)`` on the logical mesh.
+Device = tuple[int, int]
+
+
+class DeviceLostError(RuntimeError):
+    """A buffer access or collective touched one or more failed devices."""
+
+    def __init__(self, devices: Device | Iterable[Device], message: str = "") -> None:
+        if isinstance(devices, tuple) and len(devices) == 2 and all(
+            isinstance(c, int) for c in devices
+        ):
+            devices = (devices,)
+        self.devices: tuple[Device, ...] = tuple(sorted(devices))
+        super().__init__(
+            message or f"device(s) lost: {', '.join(map(str, self.devices))}"
+        )
+
+
+class LinkDownError(RuntimeError):
+    """A link transfer exhausted its retry budget while the link was down."""
+
+    def __init__(self, src: Device, dst: Device, attempts: int) -> None:
+        self.src = src
+        self.dst = dst
+        self.attempts = attempts
+        super().__init__(
+            f"link {src}->{dst} still down after {attempts} attempt(s)"
+        )
+
+
+@dataclass(frozen=True)
+class ChipFailure:
+    """Permanent loss of one chip, at a training step and/or a sim time.
+
+    ``at_step`` addresses the functional trainers (the failure interrupts
+    that step's collective); ``at_time`` addresses the discrete-event
+    schedules (simulated seconds).  Either may be ``None`` when the fault
+    only targets one substrate.
+    """
+
+    device: Device
+    at_step: int | None = None
+    at_time: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.at_step is None and self.at_time is None:
+            raise ValueError("chip failure needs at_step and/or at_time")
+        if self.at_step is not None and self.at_step < 0:
+            raise ValueError("at_step must be >= 0")
+        if self.at_time is not None and self.at_time < 0:
+            raise ValueError("at_time must be >= 0")
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """A window during which one physical link is degraded or down.
+
+    ``factor`` scales the link bandwidth inside ``[start, start+duration)``:
+    ``0.0`` is a hard outage (an optical-link flap — transfers time out and
+    retry), values in ``(0, 1)`` model a degraded lane.  ``bidirectional``
+    applies the fault to both link directions.
+    """
+
+    src: Device
+    dst: Device
+    start: float
+    duration: float
+    factor: float = 0.0
+    bidirectional: bool = True
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.duration <= 0:
+            raise ValueError("link fault window must be non-negative/non-empty")
+        if not 0.0 <= self.factor < 1.0:
+            raise ValueError("factor must be in [0, 1) — 1.0 is a healthy link")
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def applies(self, src: Device, dst: Device) -> bool:
+        if (src, dst) == (self.src, self.dst):
+            return True
+        return self.bidirectional and (dst, src) == (self.src, self.dst)
+
+
+@dataclass(frozen=True)
+class StragglerFault:
+    """One chip runs slow for a window of steps (inflates step wall time)."""
+
+    device: Device
+    start_step: int
+    duration_steps: int
+    slowdown: float
+
+    def __post_init__(self) -> None:
+        if self.start_step < 0 or self.duration_steps <= 0:
+            raise ValueError("straggler window must be non-negative/non-empty")
+        if self.slowdown < 1.0:
+            raise ValueError("slowdown must be >= 1.0")
+
+    def active_at(self, step: int) -> bool:
+        return self.start_step <= step < self.start_step + self.duration_steps
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Timeout + exponential-backoff policy for faulted link transfers.
+
+    An attempt on a down link burns ``timeout_s`` (the sender's detection
+    timeout), then waits ``backoff_s * backoff_factor**k`` before attempt
+    ``k+1``.  After ``max_attempts`` failed attempts the transfer raises
+    :class:`LinkDownError` into the collective schedule.
+    """
+
+    timeout_s: float = 1e-3
+    max_attempts: int = 4
+    backoff_s: float = 2e-3
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.timeout_s < 0 or self.backoff_s < 0 or self.backoff_factor < 1:
+            raise ValueError("negative timeout/backoff")
+
+    def backoff_after(self, attempt: int) -> float:
+        """Seconds to wait after failed attempt number ``attempt`` (1-based)."""
+        return self.backoff_s * self.backoff_factor ** (attempt - 1)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, seeded schedule of faults for one run.
+
+    Construct explicitly for targeted chaos tests, or sample a random plan
+    with :meth:`sample` — the same ``seed`` always yields the same plan, so
+    failures reproduce exactly across runs and machines.
+    """
+
+    seed: int = 0
+    chip_failures: tuple[ChipFailure, ...] = ()
+    link_faults: tuple[LinkFault, ...] = ()
+    stragglers: tuple[StragglerFault, ...] = ()
+
+    # --- queries (trainer / step domain) -------------------------------------
+
+    def chip_failures_at_step(self, step: int) -> tuple[Device, ...]:
+        """Devices whose failure is injected while executing ``step``."""
+        return tuple(
+            f.device for f in self.chip_failures if f.at_step == step
+        )
+
+    def dead_through_step(self, step: int) -> frozenset[Device]:
+        """Devices dead once ``step`` has been reached (inclusive)."""
+        return frozenset(
+            f.device
+            for f in self.chip_failures
+            if f.at_step is not None and f.at_step <= step
+        )
+
+    def straggler_factor(self, device: Device, step: int) -> float:
+        """Step-time multiplier for ``device`` at ``step`` (1.0 = healthy)."""
+        factor = 1.0
+        for s in self.stragglers:
+            if s.device == device and s.active_at(step):
+                factor = max(factor, s.slowdown)
+        return factor
+
+    # --- queries (discrete-event / time domain) ------------------------------
+
+    def dead_at_time(self, t: float) -> frozenset[Device]:
+        """Devices dead at simulated time ``t``."""
+        return frozenset(
+            f.device
+            for f in self.chip_failures
+            if f.at_time is not None and f.at_time <= t
+        )
+
+    def link_factor(self, src: Device, dst: Device, t: float) -> float:
+        """Bandwidth factor of the ``src -> dst`` link at time ``t``.
+
+        1.0 when healthy; the *minimum* factor of all active fault windows
+        otherwise (0.0 means the link is down).
+        """
+        factor = 1.0
+        for f in self.link_faults:
+            if f.applies(src, dst) and f.start <= t < f.end:
+                factor = min(factor, f.factor)
+        return factor
+
+    def next_link_up(self, src: Device, dst: Device, t: float) -> float | None:
+        """Earliest time >= ``t`` at which the link carries traffic again.
+
+        ``None`` when the link is already up at ``t``.
+        """
+        if self.link_factor(src, dst, t) > 0.0:
+            return None
+        up = t
+        for f in sorted(self.link_faults, key=lambda f: f.start):
+            if f.applies(src, dst) and f.factor == 0.0 and f.start <= up < f.end:
+                up = f.end
+        return up
+
+    # --- construction ---------------------------------------------------------
+
+    @classmethod
+    def sample(
+        cls,
+        seed: int,
+        mesh_shape: tuple[int, int],
+        steps: int,
+        *,
+        expected_chip_failures: float = 0.0,
+        expected_link_flaps: float = 0.0,
+        expected_stragglers: float = 0.0,
+        step_time_s: float = 1.0,
+        flap_duration_s: float = 0.05,
+        straggler_duration_steps: int = 3,
+        straggler_slowdown: float = 3.0,
+    ) -> "FaultPlan":
+        """A random plan, fully determined by ``seed``.
+
+        Event *counts* are Poisson with the given expectations; chip
+        failures strike distinct devices at uniform steps (each also gets an
+        ``at_time`` of ``at_step * step_time_s`` so the same plan drives the
+        discrete-event schedules), link flaps strike uniform adjacent device
+        pairs at uniform times, stragglers strike uniform devices/steps.
+        """
+        x_size, y_size = mesh_shape
+        if x_size < 1 or y_size < 1:
+            raise ValueError("mesh dims must be >= 1")
+        if steps < 1:
+            raise ValueError("steps must be >= 1")
+        rng = np.random.default_rng(seed)
+        devices = [(x, y) for x in range(x_size) for y in range(y_size)]
+        horizon_s = steps * step_time_s
+
+        n_chip = min(int(rng.poisson(expected_chip_failures)), len(devices))
+        victims = rng.choice(len(devices), size=n_chip, replace=False)
+        chip_failures = []
+        for idx in victims:
+            at_step = int(rng.integers(0, steps))
+            chip_failures.append(
+                ChipFailure(
+                    device=devices[int(idx)],
+                    at_step=at_step,
+                    at_time=at_step * step_time_s,
+                )
+            )
+
+        link_faults = []
+        links = _adjacent_pairs(x_size, y_size)
+        if links:
+            for _ in range(int(rng.poisson(expected_link_flaps))):
+                src, dst = links[int(rng.integers(0, len(links)))]
+                start = float(rng.uniform(0.0, horizon_s))
+                link_faults.append(
+                    LinkFault(src=src, dst=dst, start=start,
+                              duration=flap_duration_s, factor=0.0)
+                )
+
+        stragglers = []
+        for _ in range(int(rng.poisson(expected_stragglers))):
+            device = devices[int(rng.integers(0, len(devices)))]
+            start_step = int(rng.integers(0, steps))
+            stragglers.append(
+                StragglerFault(
+                    device=device,
+                    start_step=start_step,
+                    duration_steps=straggler_duration_steps,
+                    slowdown=straggler_slowdown,
+                )
+            )
+
+        plan = cls(
+            seed=seed,
+            chip_failures=tuple(
+                sorted(chip_failures, key=lambda f: (f.at_step, f.device))
+            ),
+            link_faults=tuple(sorted(link_faults, key=lambda f: f.start)),
+            stragglers=tuple(
+                sorted(stragglers, key=lambda s: (s.start_step, s.device))
+            ),
+        )
+        logger.debug(
+            "sampled fault plan seed=%d: %d chip failures, %d link faults, "
+            "%d stragglers over %d steps on %dx%d",
+            seed, len(plan.chip_failures), len(plan.link_faults),
+            len(plan.stragglers), steps, x_size, y_size,
+        )
+        return plan
+
+    @property
+    def num_events(self) -> int:
+        return len(self.chip_failures) + len(self.link_faults) + len(self.stragglers)
+
+
+def host_failure(
+    devices: Sequence[Device], at_step: int | None = None,
+    at_time: float | None = None,
+) -> tuple[ChipFailure, ...]:
+    """Chip failures for every chip of one host, dying together.
+
+    Pass e.g. the chips for which ``TorusMesh.host_of`` returns the same
+    host id; a preempted VM takes all of them out at once.
+    """
+    if not devices:
+        raise ValueError("host failure needs at least one device")
+    return tuple(
+        ChipFailure(device=tuple(d), at_step=at_step, at_time=at_time)
+        for d in devices
+    )
+
+
+def _adjacent_pairs(x_size: int, y_size: int) -> list[tuple[Device, Device]]:
+    """Directed +x / +y neighbor pairs of a grid (the physical ICI links)."""
+    pairs: list[tuple[Device, Device]] = []
+    for x in range(x_size):
+        for y in range(y_size):
+            if x + 1 < x_size:
+                pairs.append(((x, y), (x + 1, y)))
+            if y + 1 < y_size:
+                pairs.append(((x, y), (x, y + 1)))
+    return pairs

@@ -10,7 +10,10 @@ deterministic FIFO ordering everywhere so simulations are reproducible.
 from __future__ import annotations
 
 import heapq
+import logging
 from typing import Any, Callable, Generator, Iterable
+
+logger = logging.getLogger("repro.sim")
 
 #: Yield type of a simulation process.
 ProcessGenerator = Generator["Event", Any, Any]
@@ -25,9 +28,18 @@ class Event:
 
     An event is *triggered* with a value (or an exception); callbacks added
     before triggering run when the event fires, in FIFO order.
+
+    A failed event is *defused* once its exception is delivered somewhere
+    that can handle it (thrown into a waiting process, or absorbed into a
+    failing AllOf/AnyOf).  Failed events that are still undefused when
+    processed re-raise from :meth:`Simulator.run` — a process crash cannot
+    be silently swallowed just because nobody joined on it.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_exception", "_triggered", "_processed")
+    __slots__ = (
+        "sim", "callbacks", "_value", "_exception", "_triggered", "_processed",
+        "_defused",
+    )
 
     def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
@@ -36,6 +48,7 @@ class Event:
         self._exception: BaseException | None = None
         self._triggered = False
         self._processed = False
+        self._defused = False
 
     @property
     def triggered(self) -> bool:
@@ -107,12 +120,21 @@ class Process(Event):
         self._target = None
         try:
             if event._exception is not None:
+                # The exception is delivered into this generator; whether it
+                # handles or re-raises, the source event is accounted for.
+                event._defused = True
                 next_event = self.generator.throw(event._exception)
             else:
                 next_event = self.generator.send(event._value)
         except StopIteration as stop:
             if not self._triggered:
                 self.succeed(stop.value)
+            return
+        except Exception as exc:
+            # The process crashed: fail its event so joiners receive the
+            # exception.  If nobody joins, Simulator.run() re-raises it.
+            if not self._triggered:
+                self.fail(exc)
             return
         if not isinstance(next_event, Event):
             raise SimulationError(
@@ -150,8 +172,11 @@ class AllOf(Event):
 
     def _on_child(self, event: Event) -> None:
         if self._triggered:
+            # A late child failure after this condition already triggered is
+            # NOT absorbed: it stays undefused and surfaces from run().
             return
         if event._exception is not None:
+            event._defused = True  # the condition now carries the failure
             self.fail(event._exception)
             return
         self._pending -= 1
@@ -177,8 +202,11 @@ class AnyOf(Event):
 
     def _on_child(self, event: Event) -> None:
         if self._triggered:
+            # Late losers of the race are not absorbed; a failing one stays
+            # undefused and surfaces from run().
             return
         if event._exception is not None:
+            event._defused = True  # the condition now carries the failure
             self.fail(event._exception)
         else:
             self.succeed(event._value)
@@ -225,7 +253,11 @@ class Simulator:
         """Process events until the heap is empty (or the time horizon).
 
         Returns the final simulation time.  Exceptions raised inside
-        processes propagate to the caller unless some process handles them.
+        processes propagate to the caller unless some process handles them:
+        a failed event that no callback *defused* (threw into a waiting
+        generator or absorbed into a failing condition) re-raises here,
+        with the failing process named — a crash in a process nobody joins
+        on must not be silently swallowed.
         """
         while self._heap:
             t, _, event = self._heap[0]
@@ -238,9 +270,17 @@ class Simulator:
             event._processed = True
             for cb in callbacks:
                 cb(event)
-            if event._exception is not None and not callbacks:
-                # Nobody waited on a failed event: surface the error.
-                raise event._exception
+            if event._exception is not None and not event._defused:
+                # Nobody handled the failure: surface the error.
+                exc = event._exception
+                if isinstance(event, Process):
+                    where = f"unhandled failure in process {event.name!r} at t={t:g}"
+                else:
+                    where = f"unhandled failure in {type(event).__name__} at t={t:g}"
+                logger.error("%s: %r", where, exc)
+                if hasattr(exc, "add_note"):  # py3.11+
+                    exc.add_note(where)
+                raise exc
         if until is not None and until > self._now:
             self._now = until
         return self._now

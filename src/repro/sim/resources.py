@@ -151,15 +151,22 @@ class Channel:
         self.bytes_moved = 0.0
         self.busy_time = 0.0
 
-    def transfer_time(self, nbytes: float) -> float:
-        """Occupancy time of one transfer."""
-        return self.latency + nbytes / self.bandwidth
+    def transfer_time(self, nbytes: float, factor: float = 1.0) -> float:
+        """Occupancy time of one transfer.
 
-    def transfer(self, nbytes: float):
+        ``factor`` scales the effective bandwidth (a degraded link runs at
+        ``factor * bandwidth``); it must be positive — a fully down link is
+        modeled by the retry logic of the fault-aware schedules, not here.
+        """
+        if factor <= 0:
+            raise SimulationError("bandwidth factor must be positive")
+        return self.latency + nbytes / (self.bandwidth * factor)
+
+    def transfer(self, nbytes: float, factor: float = 1.0):
         """Process helper: move ``nbytes`` over the link (FIFO-serialized)."""
         if nbytes < 0:
             raise SimulationError("transfer size must be non-negative")
-        duration = self.transfer_time(nbytes)
+        duration = self.transfer_time(nbytes, factor)
         req = self._server.acquire()
         yield req
         try:

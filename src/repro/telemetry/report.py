@@ -42,8 +42,8 @@ def step_breakdown(trace: Trace | None = None, registry=None) -> str:
     Rows are (category, span name) pairs with total seconds, call count,
     and percentage of the total ``train_step`` span time (or of the whole
     trace span when no step spans were recorded).  A second block lists
-    the headline counters: collective traffic, bucket flatten cost, and
-    cache hit rates.
+    the headline counters: collective traffic, bucket flatten cost, cache
+    hit rates, and the failure/recovery accounting of chaos runs.
     """
     trace = trace if trace is not None else telemetry.tracer.trace
     registry = registry if registry is not None else telemetry.metrics
@@ -80,6 +80,17 @@ def step_breakdown(trace: Trace | None = None, registry=None) -> str:
         "bucket_segment_cache_misses",
         "train_steps",
         "input_prefetch_stall_seconds",
+        "resilience_checkpoints",
+        "resilience_checkpoint_bytes",
+        "resilience_device_failures",
+        "resilience_lost_steps",
+        "resilience_restarts",
+        "resilience_restart_seconds",
+        "resilience_mttr_seconds",
+        "resilience_retries",
+        "resilience_degraded_transfers",
+        "mesh_device_failures",
+        "mesh_degraded_collectives",
     ):
         family = snap.get(name)
         if not family:

@@ -2,10 +2,18 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings
 
-from repro.hardware.topology import TorusMesh, multipod, single_pod, slice_for_chips
+from repro.hardware.topology import TorusMesh, multipod, single_pod
+
+# CI runs with HYPOTHESIS_PROFILE=ci: derandomized so a red build replays
+# the exact same examples, no deadline so shared runners don't flake.
+settings.register_profile("ci", derandomize=True, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 
 @pytest.fixture

@@ -8,7 +8,7 @@ from repro.comm.allreduce import (
     model_parallel_allreduce,
     two_phase_allreduce,
 )
-from repro.hardware.topology import multipod, slice_for_chips
+from repro.hardware.topology import slice_for_chips
 
 
 class TestTwoPhase:

@@ -8,7 +8,6 @@ from repro.comm.halo import (
     load_imbalance,
     spatial_shard_shape,
 )
-from repro.hardware.topology import single_pod
 
 
 class TestSpatialShards:

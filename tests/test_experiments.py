@@ -240,7 +240,7 @@ class TestRunnerAndReport:
     def test_all_experiments_registered(self):
         assert set(EXPERIMENTS) >= {
             "table1", "table2", "figure5", "figure6", "figure7", "figure8",
-            "figure9", "figure10", "figure11", "ablations",
+            "figure9", "figure10", "figure11", "ablations", "availability",
         }
 
     def test_cli_single_experiment(self, capsys):
@@ -302,3 +302,35 @@ class TestCalibrationRegistry:
                 plan = plan_parallelism(spec_for(name), 256)
                 result = model.run(plan.config)
                 assert result.total_seconds > 0
+
+
+class TestAvailability:
+    def test_goodput_degrades_with_failure_rate(self):
+        from repro.experiments import availability
+
+        table = availability.sweep(
+            chip_counts=(64,), failure_rates=(0.0, 1e-3)
+        )
+        assert len(table.rows) == 2
+        clean, faulty = table.rows
+        assert clean[6] == "1.000"          # no failures: perfect goodput
+        assert clean[2] == 0
+        assert faulty[2] > 0                # 64 chips * 200 steps * 1e-3
+        assert float(faulty[6]) < 1.0
+        assert 0.0 < float(faulty[6])
+
+    def test_sweep_is_reproducible(self):
+        from repro.experiments import availability
+
+        a = availability.sweep(chip_counts=(64,), failure_rates=(1e-3,))
+        b = availability.sweep(chip_counts=(64,), failure_rates=(1e-3,))
+        assert a.rows == b.rows
+
+    def test_chaos_demo_replays_deterministically(self):
+        from repro.experiments import availability
+
+        table = availability.chaos_demo()
+        assert len(table.rows) == 3
+        for row in table.rows:
+            assert row[6] == "yes", row
+            assert 0.0 < float(row[5]) <= 1.0

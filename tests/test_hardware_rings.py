@@ -11,7 +11,7 @@ from repro.hardware.rings import (
     x_line,
     y_ring,
 )
-from repro.hardware.topology import Coordinate, TorusMesh, multipod
+from repro.hardware.topology import Coordinate, TorusMesh
 
 
 class TestRing:

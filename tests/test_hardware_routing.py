@@ -11,7 +11,7 @@ from repro.hardware.routing import (
     path_links,
     resolve_route,
 )
-from repro.hardware.topology import Coordinate, TorusMesh, multipod, slice_for_chips
+from repro.hardware.topology import Coordinate, multipod, slice_for_chips
 
 
 class TestDimensionOrderedPath:

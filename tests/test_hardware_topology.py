@@ -8,7 +8,6 @@ from repro.hardware.topology import (
     LinkKind,
     TorusMesh,
     multipod,
-    single_pod,
     slice_for_chips,
 )
 

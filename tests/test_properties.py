@@ -10,7 +10,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.comm.allreduce import flat_ring_allreduce, two_phase_allreduce
-from repro.comm.cost import all_gather_time, reduce_scatter_time
+from repro.comm.cost import reduce_scatter_time
 from repro.comm.schedule import simulate_ring_reduce_scatter
 from repro.core.planner import PLANNER_RULES, plan_parallelism
 from repro.core.step_time import StepTimeModel
@@ -19,7 +19,7 @@ from repro.experiments.calibration import spec_for
 from repro.hardware.rings import y_ring
 from repro.hardware.routing import dimension_ordered_path
 from repro.hardware.topology import Coordinate, TorusMesh
-from repro.optim import LAMB, SGDMomentum
+from repro.optim import LAMB
 from repro.runtime.collectives import ring_reduce_scatter, two_phase_all_reduce
 
 mesh_dims = st.integers(min_value=1, max_value=8)

@@ -1,7 +1,6 @@
 """Shuffle-quality study tests (BERT, §3.5)."""
 
 import numpy as np
-import pytest
 
 from repro.input_pipeline.shuffle import (
     ShuffleQualityReport,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.engine import AllOf, AnyOf, Simulator, SimulationError, Timeout
+from repro.sim.engine import Simulator, SimulationError
 
 
 class TestClock:
@@ -227,3 +227,77 @@ class TestCombinators:
         sim = Simulator()
         with pytest.raises(SimulationError):
             sim.any_of([])
+
+
+class TestUnhandledFailures:
+    """Unhandled process crashes must surface from run(), naming the culprit."""
+
+    def test_crash_note_names_process_and_time(self):
+        sim = Simulator()
+
+        def bad(sim):
+            yield sim.timeout(2.0)
+            raise RuntimeError("boom")
+
+        sim.process(bad(sim), name="collector")
+        with pytest.raises(RuntimeError, match="boom") as err:
+            sim.run()
+        notes = getattr(err.value, "__notes__", [])
+        assert any(
+            "unhandled failure in process 'collector' at t=2" in n for n in notes
+        )
+
+    def test_joined_failure_is_handled_not_reraised(self):
+        sim = Simulator()
+        caught = []
+
+        def bad(sim):
+            yield sim.timeout(1.0)
+            raise RuntimeError("boom")
+
+        def watcher(sim, child):
+            try:
+                yield child
+            except RuntimeError as exc:
+                caught.append(str(exc))
+
+        child = sim.process(bad(sim))
+        sim.process(watcher(sim, child))
+        sim.run()  # must not raise: the watcher consumed the failure
+        assert caught == ["boom"]
+
+    def test_any_of_race_loser_failure_still_surfaces(self):
+        # A process that loses an any_of race and *then* crashes has no
+        # joiner left; its failure must not be silently dropped.
+        sim = Simulator()
+
+        def loser(sim):
+            yield sim.timeout(2.0)
+            raise ValueError("late crash")
+
+        def racer(sim, loser_proc):
+            yield sim.any_of([sim.timeout(1.0), loser_proc])
+
+        proc = sim.process(loser(sim), name="loser")
+        sim.process(racer(sim, proc))
+        with pytest.raises(ValueError, match="late crash"):
+            sim.run()
+
+    def test_all_of_child_failure_delivered_to_waiter(self):
+        sim = Simulator()
+        caught = []
+
+        def bad(sim):
+            yield sim.timeout(1.0)
+            raise RuntimeError("child died")
+
+        def waiter(sim, children):
+            try:
+                yield sim.all_of(children)
+            except RuntimeError as exc:
+                caught.append(str(exc))
+
+        children = [sim.process(bad(sim)), sim.timeout(5.0)]
+        sim.process(waiter(sim, children))
+        sim.run()
+        assert caught == ["child died"]
