@@ -116,6 +116,7 @@ class DataParallelTrainer:
         dp_x: int,
         dp_y: int = 1,
         grad_dtype_policy: str = "f64",
+        guard: object | None = None,
     ) -> None:
         if dp_x < 1 or dp_y < 1:
             raise ValueError("replica mesh dims must be >= 1")
@@ -124,6 +125,11 @@ class DataParallelTrainer:
         self.dp_x = dp_x
         self.dp_y = dp_y
         self.grad_dtype_policy = grad_dtype_policy
+        #: Optional :class:`repro.controlplane.guard.ConsistencyGuard` (or
+        #: anything with ``scan_tree``): the reduced mean gradients are
+        #: scanned for NaN/Inf *after* the collective — the earliest point
+        #: where one replica's non-finite value has poisoned all of them.
+        self.guard = guard
         self.params: Params | None = None
         self.state: OptimizerState | None = None
         self.step_index = 0
@@ -201,6 +207,10 @@ class DataParallelTrainer:
                     grads.append(dict(g_i))
             with tracer.span("collective", category="comm", actor="trainer"):
                 mean_grads = self._summed_mean_grads(grads)
+            if self.guard is not None:
+                self.guard.scan_tree(
+                    mean_grads, kind="gradient", step=self.step_index
+                )
             with tracer.span("update", category="update", actor="trainer"):
                 self.params, self.state = self.optimizer.update(
                     self.params, mean_grads, self.state, self.step_index

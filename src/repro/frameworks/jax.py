@@ -18,6 +18,10 @@ class MultiClientJAX(FrameworkModel):
 
     name = "jax"
 
+    #: No coordinator: every host is a peer client, so no single host
+    #: failure is fatal — survivors detect the loss and re-form.
+    coordinator_host: int | None = None
+
     def __init__(
         self,
         mesh_init_base_seconds: float = 40.0,
@@ -25,6 +29,20 @@ class MultiClientJAX(FrameworkModel):
     ) -> None:
         self.mesh_init_base_seconds = mesh_init_base_seconds
         self.mesh_init_seconds_per_log2_host = mesh_init_seconds_per_log2_host
+
+    def reinit_time(self, num_hosts: int, profile: GraphProfile) -> float:
+        """Re-forming skips recompilation: survivors reuse their binaries.
+
+        Only the (weakly size-dependent) mesh re-initialization is
+        re-paid, so elastic shrink is cheap — the failure-domain twin of
+        Table 2's constant-time init.
+        """
+        if num_hosts < 1:
+            raise ValueError("num_hosts must be >= 1")
+        return (
+            self.mesh_init_base_seconds
+            + self.mesh_init_seconds_per_log2_host * math.log2(max(2, num_hosts))
+        )
 
     def init_time(self, num_hosts: int, profile: GraphProfile) -> float:
         if num_hosts < 1:

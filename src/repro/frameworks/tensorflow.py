@@ -16,6 +16,11 @@ class SingleClientTF(FrameworkModel):
 
     name = "tf"
 
+    #: The coordinator is host 0 and a single point of failure: every
+    #: worker is driven by its session, so its death kills the job
+    #: (the Section 2 control-plane contrast with multi-client JAX).
+    coordinator_host: int | None = 0
+
     def __init__(
         self,
         mesh_init_seconds: float = 60.0,

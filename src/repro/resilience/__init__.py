@@ -31,29 +31,37 @@ from __future__ import annotations
 import importlib
 
 from repro.resilience.faults import (
+    BitFlipFault,
     ChipFailure,
     Device,
     DeviceLostError,
     FaultPlan,
     LinkDownError,
     LinkFault,
+    PreemptionSignal,
     RetryPolicy,
     StragglerFault,
+    fail_host,
     host_failure,
+    host_map,
 )
 
 _LAZY_SUBMODULES = ("chaos", "checkpoint", "faults")
 
 __all__ = [
+    "BitFlipFault",
     "ChipFailure",
     "Device",
     "DeviceLostError",
     "FaultPlan",
     "LinkDownError",
     "LinkFault",
+    "PreemptionSignal",
     "RetryPolicy",
     "StragglerFault",
+    "fail_host",
     "host_failure",
+    "host_map",
     *_LAZY_SUBMODULES,
 ]
 

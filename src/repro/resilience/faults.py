@@ -139,6 +139,61 @@ class StragglerFault:
 
 
 @dataclass(frozen=True)
+class PreemptionSignal:
+    """An *announced* host eviction: SIGTERM now, SIGKILL after a grace window.
+
+    Cloud preemption is the polite failure mode — unlike a chip death, the
+    job is told in advance and has ``grace_s`` of wall-clock to flush a
+    best-effort checkpoint before every chip the host drives goes away.
+    ``host`` indexes the row-major host blocks of :func:`host_map`; the
+    signal is delivered at the start of ``at_step``.
+    """
+
+    host: int
+    at_step: int
+    grace_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.host < 0:
+            raise ValueError("host must be >= 0")
+        if self.at_step < 0:
+            raise ValueError("at_step must be >= 0")
+        if self.grace_s < 0:
+            raise ValueError("grace_s must be >= 0")
+
+
+@dataclass(frozen=True)
+class BitFlipFault:
+    """A silent single-bit corruption of one replica's parameter copy.
+
+    No collective raises on this: the flipped replica keeps participating,
+    its parameter copy silently diverged from its peers — the SDC class of
+    failure only a cross-replica consistency check can catch.  ``param``
+    names the corrupted tensor (``None`` = first name in sorted order),
+    ``index`` the flat element within it, and ``bit`` the bit within the
+    element's 32-bit word (mantissa bits make quiet drift, exponent bits
+    make loud blow-ups; both are silent to the collectives).
+
+    The flip is *transient*: it corrupts the state once at ``at_step`` and
+    is consumed — a rewind-and-replay recovery does not re-inject it.
+    """
+
+    device: Device
+    at_step: int
+    param: str | None = None
+    index: int = 0
+    bit: int = 12
+
+    def __post_init__(self) -> None:
+        if self.at_step < 0:
+            raise ValueError("at_step must be >= 0")
+        if self.index < 0:
+            raise ValueError("index must be >= 0")
+        if not 0 <= self.bit < 32:
+            raise ValueError("bit must be in [0, 32)")
+
+
+@dataclass(frozen=True)
 class RetryPolicy:
     """Timeout + exponential-backoff policy for faulted link transfers.
 
@@ -177,6 +232,8 @@ class FaultPlan:
     chip_failures: tuple[ChipFailure, ...] = ()
     link_faults: tuple[LinkFault, ...] = ()
     stragglers: tuple[StragglerFault, ...] = ()
+    preemptions: tuple[PreemptionSignal, ...] = ()
+    bit_flips: tuple[BitFlipFault, ...] = ()
 
     # --- queries (trainer / step domain) -------------------------------------
 
@@ -193,6 +250,14 @@ class FaultPlan:
             for f in self.chip_failures
             if f.at_step is not None and f.at_step <= step
         )
+
+    def preemptions_at_step(self, step: int) -> tuple[PreemptionSignal, ...]:
+        """Preemption signals delivered at the start of ``step``."""
+        return tuple(p for p in self.preemptions if p.at_step == step)
+
+    def bit_flips_at_step(self, step: int) -> tuple[BitFlipFault, ...]:
+        """Silent bit flips injected while executing ``step``."""
+        return tuple(f for f in self.bit_flips if f.at_step == step)
 
     def straggler_factor(self, device: Device, step: int) -> float:
         """Step-time multiplier for ``device`` at ``step`` (1.0 = healthy)."""
@@ -249,10 +314,14 @@ class FaultPlan:
         expected_chip_failures: float = 0.0,
         expected_link_flaps: float = 0.0,
         expected_stragglers: float = 0.0,
+        expected_preemptions: float = 0.0,
+        expected_bit_flips: float = 0.0,
         step_time_s: float = 1.0,
         flap_duration_s: float = 0.05,
         straggler_duration_steps: int = 3,
         straggler_slowdown: float = 3.0,
+        chips_per_host: int = 8,
+        preemption_grace_s: float = 30.0,
     ) -> "FaultPlan":
         """A random plan, fully determined by ``seed``.
 
@@ -308,6 +377,28 @@ class FaultPlan:
                 )
             )
 
+        hosts = host_map(mesh_shape, chips_per_host)
+        preemptions = []
+        for _ in range(int(rng.poisson(expected_preemptions))):
+            preemptions.append(
+                PreemptionSignal(
+                    host=int(rng.integers(0, len(hosts))),
+                    at_step=int(rng.integers(0, steps)),
+                    grace_s=preemption_grace_s,
+                )
+            )
+
+        bit_flips = []
+        for _ in range(int(rng.poisson(expected_bit_flips))):
+            bit_flips.append(
+                BitFlipFault(
+                    device=devices[int(rng.integers(0, len(devices)))],
+                    at_step=int(rng.integers(0, steps)),
+                    index=int(rng.integers(0, 4)),
+                    bit=int(rng.integers(0, 23)),  # mantissa bits: quiet drift
+                )
+            )
+
         plan = cls(
             seed=seed,
             chip_failures=tuple(
@@ -317,18 +408,66 @@ class FaultPlan:
             stragglers=tuple(
                 sorted(stragglers, key=lambda s: (s.start_step, s.device))
             ),
+            preemptions=tuple(
+                sorted(preemptions, key=lambda p: (p.at_step, p.host))
+            ),
+            bit_flips=tuple(
+                sorted(bit_flips, key=lambda f: (f.at_step, f.device))
+            ),
         )
         logger.debug(
             "sampled fault plan seed=%d: %d chip failures, %d link faults, "
-            "%d stragglers over %d steps on %dx%d",
+            "%d stragglers, %d preemptions, %d bit flips over %d steps on %dx%d",
             seed, len(plan.chip_failures), len(plan.link_faults),
-            len(plan.stragglers), steps, x_size, y_size,
+            len(plan.stragglers), len(plan.preemptions), len(plan.bit_flips),
+            steps, x_size, y_size,
         )
         return plan
 
     @property
     def num_events(self) -> int:
-        return len(self.chip_failures) + len(self.link_faults) + len(self.stragglers)
+        return (
+            len(self.chip_failures)
+            + len(self.link_faults)
+            + len(self.stragglers)
+            + len(self.preemptions)
+            + len(self.bit_flips)
+        )
+
+
+def host_map(
+    topology, chips_per_host: int | None = None
+) -> dict[int, tuple[Device, ...]]:
+    """Host index -> the chips that host drives, as row-major blocks.
+
+    This is the *single* host->chip mapping rule of the repo, shared by
+    :func:`fail_host` and :class:`repro.controlplane.HostGroup`, and it
+    matches :meth:`repro.hardware.topology.TorusMesh.host_of` exactly:
+    chips are enumerated x-major (``chip_id = x * y_size + y``) and
+    assigned to hosts in consecutive blocks of ``chips_per_host``.
+
+    ``topology`` is either an ``(x_size, y_size)`` shape tuple or any
+    object exposing ``x_size``/``y_size`` (a ``TorusMesh`` or a
+    ``VirtualMesh``).  ``chips_per_host`` defaults to the topology's own
+    ``host.chips_per_host`` when it has one, else 8 (TPU-v3).
+    """
+    if isinstance(topology, tuple):
+        x_size, y_size = topology
+    else:
+        x_size, y_size = topology.x_size, topology.y_size
+    if x_size < 1 or y_size < 1:
+        raise ValueError("mesh dims must be >= 1")
+    if chips_per_host is None:
+        host_spec = getattr(topology, "host", None)
+        chips_per_host = getattr(host_spec, "chips_per_host", 8)
+    if chips_per_host < 1:
+        raise ValueError("chips_per_host must be >= 1")
+    hosts: dict[int, list[Device]] = {}
+    for x in range(x_size):
+        for y in range(y_size):
+            chip_id = x * y_size + y
+            hosts.setdefault(chip_id // chips_per_host, []).append((x, y))
+    return {h: tuple(chips) for h, chips in hosts.items()}
 
 
 def host_failure(
@@ -337,8 +476,9 @@ def host_failure(
 ) -> tuple[ChipFailure, ...]:
     """Chip failures for every chip of one host, dying together.
 
-    Pass e.g. the chips for which ``TorusMesh.host_of`` returns the same
-    host id; a preempted VM takes all of them out at once.
+    Pass one block of :func:`host_map` (or any explicit chip set); a
+    preempted VM takes all of them out at once.  :func:`fail_host` wraps
+    the lookup for the common case.
     """
     if not devices:
         raise ValueError("host failure needs at least one device")
@@ -346,6 +486,21 @@ def host_failure(
         ChipFailure(device=tuple(d), at_step=at_step, at_time=at_time)
         for d in devices
     )
+
+
+def fail_host(
+    topology,
+    host: int,
+    *,
+    chips_per_host: int | None = None,
+    at_step: int | None = None,
+    at_time: float | None = None,
+) -> tuple[ChipFailure, ...]:
+    """Chip failures for host ``host`` of ``topology``, via :func:`host_map`."""
+    hosts = host_map(topology, chips_per_host)
+    if host not in hosts:
+        raise ValueError(f"host {host} not in topology ({len(hosts)} hosts)")
+    return host_failure(hosts[host], at_step=at_step, at_time=at_time)
 
 
 def _adjacent_pairs(x_size: int, y_size: int) -> list[tuple[Device, Device]]:

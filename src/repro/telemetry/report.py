@@ -91,6 +91,20 @@ def step_breakdown(trace: Trace | None = None, registry=None) -> str:
         "resilience_degraded_transfers",
         "mesh_device_failures",
         "mesh_degraded_collectives",
+        "controlplane_heartbeats_sent",
+        "controlplane_heartbeats_missed",
+        "controlplane_false_suspicions",
+        "controlplane_detections",
+        "controlplane_detection_seconds",
+        "controlplane_preemptions",
+        "controlplane_preempt_checkpoints",
+        "controlplane_bit_flips_injected",
+        "controlplane_hash_checks",
+        "controlplane_desyncs_caught",
+        "controlplane_nonfinite_tensors",
+        "controlplane_barrier_releases",
+        "controlplane_barrier_timeouts",
+        "controlplane_barrier_stragglers",
     ):
         family = snap.get(name)
         if not family:
@@ -242,6 +256,16 @@ def main(argv: list[str] | None = None) -> int:
     print(f"telemetry report — {x_size}x{y_size} mesh, {args.steps} steps")
     print()
     print(step_breakdown())
+    snap = telemetry.metrics.snapshot()
+    if not any(
+        name.startswith(("resilience_", "controlplane_")) for name in snap
+    ):
+        print()
+        print(
+            "note: no resilience_* or controlplane_* counters were recorded "
+            "— this run had no chaos harness or control-plane activity. "
+            "Run `repro-experiments availability` for failure accounting."
+        )
     write_chrome_trace(args.trace_out, sim_trace=sim_trace)
     print()
     print(f"chrome trace written to {args.trace_out} (open in chrome://tracing)")

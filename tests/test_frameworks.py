@@ -54,3 +54,54 @@ class TestContrast:
     def test_profile_validation(self):
         with pytest.raises(ValueError):
             GraphProfile("x", -1.0, 0.0)
+
+
+class TestFailureDomain:
+    """The control-plane facts the topologies consume (PR 4)."""
+
+    def test_coordinator_host_facts(self):
+        tf = SingleClientTF()
+        jax = MultiClientJAX()
+        assert tf.coordinator_host == 0
+        assert jax.coordinator_host is None
+        assert tf.is_fatal_host_failure(0)
+        assert not tf.is_fatal_host_failure(3)
+        assert not any(jax.is_fatal_host_failure(h) for h in range(8))
+
+    def test_reinit_single_client_repays_linear_term(self):
+        tf = SingleClientTF()
+        # Default reinit == full init: the graph is rebuilt per worker.
+        assert tf.reinit_time(256, PROFILE) == tf.init_time(256, PROFILE)
+        assert (
+            tf.reinit_time(512, PROFILE) - tf.reinit_time(64, PROFILE)
+        ) == pytest.approx((512 - 64) * (1.0 + tf.rpc_seconds_per_host))
+
+    def test_reinit_multi_client_skips_recompile(self):
+        jax = MultiClientJAX()
+        # Survivors reuse their binaries: re-init drops the compile term.
+        assert jax.reinit_time(256, PROFILE) == pytest.approx(
+            jax.init_time(256, PROFILE) - PROFILE.compile_seconds
+        )
+
+    def test_table2_shape_through_topologies(self):
+        """Single-client init grows with workers; multi-client is ~flat."""
+        from repro.controlplane import (
+            HostGroup,
+            MultiClientGroup,
+            SingleClientCoordinator,
+        )
+
+        inits = {"tf": [], "jax": []}
+        for x in (8, 16, 32):  # 64 -> 256 chips = 8 -> 32 hosts
+            group = HostGroup((x, 8), chips_per_host=8)
+            single = SingleClientCoordinator(group)
+            multi = MultiClientGroup(group)
+            inits["tf"].append(single.init_time(PROFILE))
+            inits["jax"].append(multi.init_time(PROFILE))
+        # TF pays the linear per-worker term for every extra host ...
+        rpc = SingleClientTF().rpc_seconds_per_host
+        assert inits["tf"][2] - inits["tf"][0] == pytest.approx(
+            (32 - 8) * (1.0 + rpc)
+        )
+        # ... JAX pays only the log2 consensus term (2 doublings x 6 s).
+        assert inits["jax"][2] - inits["jax"][0] == pytest.approx(2 * 6.0)
