@@ -4,14 +4,16 @@ Usage::
 
     PYTHONPATH=src python benchmarks/run_benchmarks.py [--out BENCH_collectives.json]
 
-Invokes the pytest-benchmark suite in ``benchmarks/test_collectives.py``
-with benchmarking *enabled* (the tier-1 test flow runs the same files with
-``--benchmark-disable``, where each case executes once as a correctness
-check), then distills the raw pytest-benchmark report into a compact,
-diff-friendly record: one entry per case with the median in nanoseconds and
-the device/payload annotations.  Vectorized kernels and their
-``_reference_*`` twins appear side by side, so the committed file is the
-before/after table for the vectorization work.
+Invokes the pytest-benchmark suites in ``benchmarks/test_collectives.py``
+and ``benchmarks/test_overlap.py`` with benchmarking *enabled* (the tier-1
+test flow runs the same files with ``--benchmark-disable``, where each
+case executes once as a correctness check), then distills the raw
+pytest-benchmark report into a compact, diff-friendly record: one entry
+per case with the median in nanoseconds and the device/payload
+annotations.  Vectorized kernels and their ``_reference_*`` twins appear
+side by side, so the committed file is the before/after table for the
+vectorization work; the overlap cases pin the cost of the bucketed
+trainer step and the DES overlap schedule.
 """
 
 from __future__ import annotations
@@ -40,6 +42,7 @@ def run_suite(json_path: Path) -> None:
     cmd = [
         sys.executable, "-m", "pytest",
         str(REPO / "benchmarks" / "test_collectives.py"),
+        str(REPO / "benchmarks" / "test_overlap.py"),
         "-q",
         "--benchmark-enable",
         "--benchmark-only",

@@ -1,0 +1,105 @@
+"""Benchmark: the overlap engine (bucketed trainer steps + DES schedule).
+
+Two claims, one ``--benchmark-enable`` run:
+
+* the bucketed-overlap trainer step costs about the same wall time as the
+  eager step — the overlap model is a cheap bolt-on, not a second step —
+  and its arithmetic is **bit-identical** to eager at the same bucket
+  count (asserted in every run, including the tier-1 ``--benchmark-disable``
+  correctness pass);
+* the analytic overlap sweep (DES schedule per bucket count) stays fast
+  enough to embed in experiment loops.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import TrainerConfig, make_trainer
+from repro.core.step_time import StepTimeModel
+from repro.core.strategy import ParallelismConfig
+from repro.experiments.calibration import CALIBRATIONS, spec_for
+from repro.models.mlp import MLP, synthetic_classification
+from repro.optim import LAMB
+
+REPLICAS = 8
+BUCKETS = 4
+
+
+def _annotate(benchmark, devices, payload):
+    benchmark.extra_info["devices"] = devices
+    benchmark.extra_info["payload_floats"] = payload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(0)
+    model = MLP([32, 64, 32, 8])
+    x, y = synthetic_classification(rng, 256, 32, 8)
+    return model, x, y
+
+
+def _trainer(model, *, overlap):
+    return make_trainer(
+        TrainerConfig(
+            model=model,
+            optimizer=LAMB(0.01),
+            strategy="data_parallel",
+            mesh_shape=(REPLICAS, 1),
+            num_buckets=BUCKETS,
+            overlap=overlap,
+            seed=0,
+        )
+    )
+
+
+def _param_floats(model):
+    return sum(int(np.prod(s)) for s in zip(model.layer_sizes, model.layer_sizes[1:]))
+
+
+def test_bucketed_step_eager(benchmark, workload):
+    model, x, y = workload
+    trainer = _trainer(model, overlap=False)
+    loss = benchmark(trainer.step, x, y)
+    assert np.isfinite(loss)
+    assert trainer.last_overlap is None
+    _annotate(benchmark, REPLICAS, _param_floats(model))
+
+
+def test_bucketed_step_overlap(benchmark, workload):
+    model, x, y = workload
+    # Bit-identity first, on fresh trainers: overlap only changes the
+    # modeled timeline, never the arithmetic.
+    eager, overlapped = _trainer(model, overlap=False), _trainer(model, overlap=True)
+    for _ in range(3):
+        eager_loss, overlap_loss = eager.step(x, y), overlapped.step(x, y)
+        assert float(eager_loss) == float(overlap_loss)
+    for name in eager.params:
+        assert np.array_equal(eager.params[name], overlapped.params[name])
+
+    trainer = _trainer(model, overlap=True)
+    loss = benchmark(trainer.step, x, y)
+    assert np.isfinite(loss)
+    overlap = trainer.last_overlap
+    assert overlap is not None
+    assert overlap.step_seconds <= overlap.serial_step_seconds + 1e-12
+    _annotate(benchmark, REPLICAS, _param_floats(model))
+
+
+def test_analytic_overlap_sweep(benchmark):
+    spec, cal = spec_for("bert"), CALIBRATIONS["bert"]
+    config = ParallelismConfig(num_chips=4096, global_batch=16384)
+    model = StepTimeModel(
+        spec,
+        config,
+        mxu_efficiency=cal.mxu_efficiency,
+        step_overhead=cal.step_overhead,
+        overlap=True,
+    )
+
+    def sweep():
+        return [model.overlap_result(b).exposed_comm_seconds for b in (1, 2, 4, 8, 16)]
+
+    exposed = benchmark(sweep)
+    # Exposed comm strictly decreases with bucket count until latency-bound.
+    assert all(a > b for a, b in zip(exposed, exposed[1:]))
+    _annotate(benchmark, 4096, int(spec.gradient_bytes // 4))

@@ -3,9 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.data_parallel import DataParallelTrainer
-from repro.core.model_parallel import HybridParallelTrainer
-from repro.core.weight_update_sharding import WeightUpdateShardedTrainer
+from repro.core import TrainerConfig, make_trainer
 from repro.models.mlp import MLP, synthetic_classification
 from repro.optim import LAMB
 
@@ -22,25 +20,27 @@ def _step(trainer, x, y):
     return trainer.step(x, y)
 
 
+def _trainer(model, **overrides):
+    config = TrainerConfig(model=model, optimizer=LAMB(0.01), seed=0, **overrides)
+    return make_trainer(config)
+
+
 def test_data_parallel_step(benchmark, workload):
     model, x, y = workload
-    trainer = DataParallelTrainer(model, LAMB(0.01), dp_x=8)
-    trainer.init(np.random.default_rng(0))
+    trainer = _trainer(model, strategy="data_parallel", mesh_shape=(8, 1))
     loss = benchmark(_step, trainer, x, y)
     assert np.isfinite(loss)
 
 
 def test_wus_step(benchmark, workload):
     model, x, y = workload
-    trainer = WeightUpdateShardedTrainer(model, LAMB(0.01), num_replicas=8)
-    trainer.init(np.random.default_rng(0))
+    trainer = _trainer(model, strategy="wus", mesh_shape=(8, 1))
     loss = benchmark(_step, trainer, x, y)
     assert np.isfinite(loss)
 
 
 def test_hybrid_step(benchmark, workload):
     model, x, y = workload
-    trainer = HybridParallelTrainer(model, LAMB(0.01), dp_size=4, mp_size=2)
-    trainer.init(np.random.default_rng(0))
+    trainer = _trainer(model, strategy="hybrid", mesh_shape=(4, 1), mp_size=2)
     loss = benchmark(_step, trainer, x, y)
     assert np.isfinite(loss)

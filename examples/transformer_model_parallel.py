@@ -20,8 +20,7 @@ import functools
 
 import numpy as np
 
-from repro.core.data_parallel import SingleDeviceTrainer
-from repro.core.model_parallel import HybridParallelTrainer
+from repro.core import TrainerConfig, make_trainer
 from repro.models.mlp import MLP, synthetic_classification
 from repro.optim import SGDMomentum
 from repro.spmd.estimator import estimate_cost, model_parallel_speedup
@@ -35,10 +34,11 @@ def functional_demo() -> None:
     model = MLP([16, 32, 16, 4])
     x, y = synthetic_classification(rng, 96, 16, 4)
 
-    ref = SingleDeviceTrainer(model, SGDMomentum(0.1))
-    ref.init(np.random.default_rng(1))
-    hybrid = HybridParallelTrainer(model, SGDMomentum(0.1), dp_size=3, mp_size=4)
-    hybrid.init(np.random.default_rng(1))
+    base = TrainerConfig(model=model, optimizer=SGDMomentum(0.1), seed=1)
+    ref = make_trainer(base.with_(strategy="single"))
+    hybrid = make_trainer(
+        base.with_(strategy="hybrid", mesh_shape=(3, 1), mp_size=4)
+    )
 
     for step in range(10):
         ref_loss = ref.step(x, y)

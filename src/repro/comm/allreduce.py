@@ -16,6 +16,7 @@ blue), while the per-chip gradient payload is already ``1/m`` of the model.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.comm.cost import (
@@ -213,3 +214,37 @@ def gradient_allreduce(
     if mp_size != 1:
         raise ValueError("flat ring baseline only supports data parallelism")
     return flat_ring_allreduce(mesh, gradient_bytes)
+
+
+def allreduce_launch_params(
+    mesh: TorusMesh,
+    *,
+    mp_size: int = 1,
+    use_2d: bool = True,
+    probe_bytes: tuple[float, float] = (float(1 << 20), float(1 << 26)),
+) -> tuple[float, float]:
+    """Affine ``(alpha, bytes_per_second)`` view of the all-reduce cost.
+
+    For any positive payload the schedule cost is affine:
+    ``total(p) = alpha + p / bytes_per_second`` where ``alpha`` is the sum
+    of every ring phase's latency chain (paid once per collective *launch*)
+    and the slope term is the bandwidth cost, which only depends on total
+    bytes.  Splitting a payload into ``k`` bucketed launches therefore
+    costs exactly ``k * alpha`` extra — the latency side of the bucket-size
+    trade-off the overlap engine sweeps.
+
+    The parameters are recovered from two positive probe payloads (the
+    model returns a degenerate 0.0 at payload 0, so probing there would
+    miss ``alpha``).  On a single-chip mesh there is no communication:
+    returns ``(0.0, inf)``.
+    """
+    p1, p2 = probe_bytes
+    if not 0.0 < p1 < p2:
+        raise ValueError("probe_bytes must be two increasing positive payloads")
+    t1 = gradient_allreduce(mesh, p1, mp_size=mp_size, use_2d=use_2d).total
+    t2 = gradient_allreduce(mesh, p2, mp_size=mp_size, use_2d=use_2d).total
+    inv_bw = (t2 - t1) / (p2 - p1)
+    if inv_bw <= 0.0:
+        return max(t1, 0.0), math.inf
+    alpha = max(t1 - p1 * inv_bw, 0.0)
+    return alpha, 1.0 / inv_bw

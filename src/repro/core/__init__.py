@@ -11,11 +11,17 @@ tests and examples):
 * :mod:`repro.core.model_parallel` — Section 3.1's feature-dimension
   sharding (Mesh-TensorFlow style) and hybrid data x model parallelism with
   peer gradient reduction (Figure 4).
+* :mod:`repro.core.trainer` — the unified construction surface:
+  :class:`TrainerConfig` + :func:`make_trainer` build any of the above,
+  and every ``step`` returns a :class:`StepResult`.
 
 Analytic layer (regenerates the paper's evaluation):
 
 * :mod:`repro.core.strategy` — parallelism configuration.
 * :mod:`repro.core.step_time` — per-step compute/communication/update model.
+* :mod:`repro.core.overlap` — backprop-overlapped bucketed gradient
+  collectives: overlap-aware step time, exposed-comm accounting, and the
+  bucket-size trade-off.
 * :mod:`repro.core.convergence` — steps-to-accuracy vs. batch size.
 * :mod:`repro.core.end_to_end` — MLPerf end-to-end time (init + train +
   eval) model.
@@ -23,6 +29,19 @@ Analytic layer (regenerates the paper's evaluation):
   slice, reproducing the paper's per-benchmark choices.
 """
 
+from repro.core.trainer import (
+    STRATEGIES,
+    StepResult,
+    Trainer,
+    TrainerConfig,
+    make_trainer,
+)
+from repro.core.overlap import (
+    OverlapResult,
+    analytic_overlap,
+    measured_overlap,
+    simulate_overlap_schedule,
+)
 from repro.core.data_parallel import (
     SingleDeviceTrainer,
     DataParallelTrainer,
@@ -54,6 +73,15 @@ from repro.core.loop import (
 )
 
 __all__ = [
+    "STRATEGIES",
+    "StepResult",
+    "Trainer",
+    "TrainerConfig",
+    "make_trainer",
+    "OverlapResult",
+    "analytic_overlap",
+    "measured_overlap",
+    "simulate_overlap_schedule",
     "SingleDeviceTrainer",
     "DataParallelTrainer",
     "shard_states",

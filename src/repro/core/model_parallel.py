@@ -20,8 +20,11 @@ exactly what :class:`HybridParallelTrainer` executes.
 
 from __future__ import annotations
 
+from time import perf_counter as _perf
+
 import numpy as np
 
+from repro.core.trainer import StepResult, _warn_direct_construction
 from repro.models.layers import (
     dense_backward,
     relu,
@@ -206,6 +209,7 @@ class HybridParallelTrainer:
     ) -> None:
         if dp_size < 1:
             raise ValueError("dp_size must be >= 1")
+        _warn_direct_construction(self, HybridParallelTrainer)
         self.model = model
         self.optimizer = optimizer
         self.dp_size = dp_size
@@ -234,12 +238,13 @@ class HybridParallelTrainer:
             raise RuntimeError("call init() first")
         return self.mp.gather_params(self.shards)
 
-    def step(self, x: np.ndarray, labels: np.ndarray) -> float:
+    def step(self, x: np.ndarray, labels: np.ndarray) -> StepResult:
         if self.shards is None or self.shard_states is None:
             raise RuntimeError("call init() before step()")
         dp = self.dp_size
         if x.shape[0] % dp != 0:
             raise ValueError(f"global batch {x.shape[0]} not divisible by {dp}")
+        t0 = _perf()
         xs, ys = np.split(x, dp), np.split(labels, dp)
         losses = []
         replica_grads: list[list[dict]] = []  # [replica][model core]
@@ -249,15 +254,30 @@ class HybridParallelTrainer:
             )
             losses.append(loss_i)
             replica_grads.append(g_i)
+        t_fb = _perf()
         # Peer reduction across replicas for every shard tensor.
         reduced: list[dict[str, np.ndarray]] = [dict() for _ in range(self.mp_size)]
+        bytes_moved = 0.0
         for k in range(self.mp_size):
             for name in replica_grads[0][k]:
                 contribs = [replica_grads[d][k][name] / dp for d in range(dp)]
                 reduced[k][name] = ring_all_reduce(contribs, self.grad_dtype_policy)[0]
+                bytes_moved += float(reduced[k][name].nbytes)
+        t_comm = _perf()
         self._sharded_optimizer_step(reduced)
+        t_update = _perf()
+        result = StepResult(
+            float(np.mean(losses)),
+            phase_seconds={
+                "forward_backward": t_fb - t0,
+                "collective": t_comm - t_fb,
+                "update": t_update - t_comm,
+            },
+            bytes_moved=bytes_moved,
+            step_index=self.step_index,
+        )
         self.step_index += 1
-        return float(np.mean(losses))
+        return result
 
     def _sharded_optimizer_step(self, grads: list[dict[str, np.ndarray]]) -> None:
         """Update each shard, reducing norm partials across the model group."""

@@ -21,10 +21,20 @@ model as functions of chip count.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
-from repro.comm.allreduce import gradient_allreduce, model_parallel_allreduce
+from repro.comm.allreduce import (
+    allreduce_launch_params,
+    gradient_allreduce,
+    model_parallel_allreduce,
+)
 from repro.comm.halo import halo_exchange_time, load_imbalance, spatial_shard_shape
+from repro.core.overlap import (
+    OverlapResult,
+    analytic_overlap,
+    layer_backward_fractions,
+)
 from repro.hardware.topology import TorusMesh, slice_for_chips
 from repro.models.costspec import ModelCostSpec
 from repro.core.strategy import ParallelismConfig
@@ -32,7 +42,13 @@ from repro.core.strategy import ParallelismConfig
 
 @dataclass(frozen=True)
 class StepTimeBreakdown:
-    """Seconds per training step, by component."""
+    """Seconds per training step, by component.
+
+    ``exposed_allreduce`` is set when the model ran with the overlap engine:
+    it is the part of ``allreduce`` that sticks out past the backward pass
+    and is the only all-reduce share the device critical path then charges.
+    ``None`` means the serial schedule (every collective after compute).
+    """
 
     compute: float
     allreduce: float
@@ -40,13 +56,19 @@ class StepTimeBreakdown:
     weight_update: float
     infeed: float
     embedding: float = 0.0
+    exposed_allreduce: float | None = None
 
     @property
     def device_time(self) -> float:
-        """Serial device critical path (no overlap, as in Figures 6/8)."""
+        """Device critical path: serial sum, or overlap-aware when modeled."""
+        allreduce = (
+            self.allreduce
+            if self.exposed_allreduce is None
+            else self.exposed_allreduce
+        )
         return (
             self.compute
-            + self.allreduce
+            + allreduce
             + self.mp_comm
             + self.weight_update
             + self.embedding
@@ -65,7 +87,17 @@ class StepTimeBreakdown:
 
 
 class StepTimeModel:
-    """Step-time estimator for one benchmark on one slice."""
+    """Step-time estimator for one benchmark on one slice.
+
+    ``overlap=True`` replaces the serial compute-then-all-reduce schedule
+    with the overlap engine of :mod:`repro.core.overlap`: the gradient
+    stream is split into ``overlap_buckets`` equal-byte collectives
+    launched behind the backward pass, and only the **exposed** tail is
+    charged to the device critical path.  ``overlap_buckets=1`` keeps the
+    collective cost identical to the serial model (one launch, same
+    payload) — with nothing ready before compute ends, the step time then
+    matches the serial schedule exactly.
+    """
 
     def __init__(
         self,
@@ -76,9 +108,15 @@ class StepTimeModel:
         mxu_efficiency: float = 0.45,
         step_overhead: float = 1.0e-4,
         input_bandwidth_per_host: float | None = None,
+        overlap: bool = False,
+        overlap_buckets: int = 1,
     ) -> None:
         if not 0.0 < mxu_efficiency <= 1.0:
             raise ValueError("mxu_efficiency must be in (0, 1]")
+        if overlap_buckets < 1:
+            raise ValueError("overlap_buckets must be >= 1")
+        self.overlap = overlap
+        self.overlap_buckets = overlap_buckets
         self.spec = spec
         self.config = config
         self.mesh = mesh if mesh is not None else slice_for_chips(config.num_chips)
@@ -170,6 +208,54 @@ class StepTimeModel:
             use_2d=cfg.use_2d_allreduce,
         ).total
 
+    def _launch_params(self) -> tuple[float, float]:
+        """Affine (alpha, bytes/s) of one fused all-reduce on this layout."""
+        cfg = self.config
+        return allreduce_launch_params(
+            self.mesh,
+            mp_size=cfg.mp_chips if cfg.mp_chips > 1 else 1,
+            use_2d=cfg.use_2d_allreduce,
+        )
+
+    def bucketed_allreduce_time(self, num_buckets: int | None = None) -> float:
+        """Gradient summation cost when split into ``num_buckets`` launches.
+
+        One bucket is *exactly* :meth:`allreduce_time` (same single launch);
+        ``k`` buckets pay the per-launch latency ``alpha`` ``k`` times over
+        the same total bytes.
+        """
+        if num_buckets is None:
+            num_buckets = self.overlap_buckets
+        if num_buckets < 1:
+            raise ValueError("num_buckets must be >= 1")
+        cfg, spec = self.config, self.spec
+        if cfg.num_replicas == 1:
+            return 0.0
+        if num_buckets == 1:
+            return self.allreduce_time()
+        alpha, bw = self._launch_params()
+        payload = spec.gradient_bytes / cfg.mp_cores
+        slope = payload / bw if math.isfinite(bw) else 0.0
+        return num_buckets * alpha + slope
+
+    def overlap_result(self, num_buckets: int | None = None) -> OverlapResult:
+        """Run the overlap engine for this model/slice at a bucket count."""
+        if num_buckets is None:
+            num_buckets = self.overlap_buckets
+        cfg, spec = self.config, self.spec
+        alpha, bw = self._launch_params()
+        payload = spec.gradient_bytes / cfg.mp_cores
+        if cfg.num_replicas == 1:
+            payload, alpha, bw = 0.0, 0.0, math.inf
+        return analytic_overlap(
+            fractions=layer_backward_fractions(spec),
+            compute_seconds=self.compute_time(),
+            grad_bytes=payload,
+            num_buckets=num_buckets,
+            comm_alpha=alpha,
+            comm_bytes_per_second=bw,
+        )
+
     def weight_update_time(self) -> float:
         """Optimizer update time — HBM-bound (Section 3.2).
 
@@ -210,14 +296,19 @@ class StepTimeModel:
         return examples_per_host * spec.host_input_bytes_per_example / bw
 
     def breakdown(self) -> StepTimeBreakdown:
-        """Full per-step breakdown."""
+        """Full per-step breakdown (overlap-aware when ``overlap=True``)."""
+        exposed: float | None = None
+        allreduce = self.bucketed_allreduce_time(self.overlap_buckets)
+        if self.overlap and self.config.num_replicas > 1:
+            exposed = self.overlap_result().exposed_comm_seconds
         return StepTimeBreakdown(
             compute=self.compute_time(),
-            allreduce=self.allreduce_time(),
+            allreduce=allreduce,
             mp_comm=self.mp_comm_time(),
             weight_update=self.weight_update_time(),
             infeed=self.infeed_time(),
             embedding=self.embedding_time(),
+            exposed_allreduce=exposed,
         )
 
     def step_time(self) -> float:

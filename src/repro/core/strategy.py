@@ -42,12 +42,17 @@ class ParallelismConfig:
             raise ValueError("global_batch must be >= 1")
         if self.mp_cores < 1:
             raise ValueError("mp_cores must be >= 1")
+        # An oversized group is the more fundamental mistake — report it
+        # before any divisibility complaint about the same value.
+        if self.mp_cores > self.num_cores:
+            raise ValueError(
+                f"mp_cores exceeds total cores "
+                f"({self.mp_cores} > {self.num_cores})"
+            )
         if self.num_cores % self.mp_cores != 0:
             raise ValueError(
                 f"{self.num_cores} cores not divisible by mp_cores={self.mp_cores}"
             )
-        if self.num_replicas < 1:
-            raise ValueError("mp_cores exceeds total cores")
 
     @property
     def num_cores(self) -> int:

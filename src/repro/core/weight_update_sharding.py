@@ -26,6 +26,7 @@ from time import perf_counter as _perf
 import numpy as np
 
 from repro import telemetry as _telemetry
+from repro.core.trainer import StepResult, _warn_direct_construction
 from repro.optim.base import Optimizer, OptimizerState, Params
 from repro.resilience.checkpoint import (
     TrainerCheckpoint,
@@ -33,7 +34,7 @@ from repro.resilience.checkpoint import (
     unshard_state_segments,
     unshard_states,
 )
-from repro.runtime.bucket import GradientBucket
+from repro.runtime.bucket import BucketPlan, GradientBucket
 from repro.runtime.collectives import (
     ShardedValue,
     padded_chunk_layout,
@@ -258,6 +259,13 @@ class WeightUpdateShardedTrainer(DataParallelTrainer):
     ``fused=True`` (the default) runs the bucketed variant: one
     reduce-scatter + one all-gather for the whole model instead of one pair
     per parameter, with optimizer slots sharded along the fused layout.
+
+    ``num_buckets > 1`` (fused only) splits the model into backprop-ordered
+    buckets, each with its own reduce-scatter -> sharded update ->
+    all-gather pipeline stage; ``overlap=True`` models those stages
+    launching behind the backward pass.  As in
+    :class:`~repro.core.data_parallel.DataParallelTrainer`, overlap mode
+    changes only the modeled timeline, never the arithmetic.
     """
 
     def __init__(
@@ -267,34 +275,58 @@ class WeightUpdateShardedTrainer(DataParallelTrainer):
         num_replicas: int,
         grad_dtype_policy: str = "f64",
         fused: bool = True,
+        num_buckets: int = 1,
+        overlap: bool = False,
     ) -> None:
+        if not fused and num_buckets > 1:
+            raise ValueError("unfused WUS does not support multiple buckets")
         super().__init__(
             model, optimizer, dp_x=num_replicas, dp_y=1,
             grad_dtype_policy=grad_dtype_policy,
+            num_buckets=num_buckets, overlap=overlap,
         )
+        _warn_direct_construction(self, WeightUpdateShardedTrainer)
         self.fused = fused
         self.sharded_state: list[OptimizerState] | None = None
+        self._bucket_states: list[list[OptimizerState]] | None = None
 
     def init(self, rng: np.random.Generator) -> None:
         super().init(rng)
         assert self.state is not None
         if self.fused:
-            self._bucket = GradientBucket(self.params, dtype=np.float64)
-            self.sharded_state = shard_state_segments(
-                self.state, self._bucket, self.num_replicas
-            )
+            self._init_fused_shards(self.state)
         else:
             self.sharded_state = shard_states(self.state, self.num_replicas)
+            self._bucket_states = None
         self.state = None  # slots only exist sharded from here on
 
-    def step(self, x: np.ndarray, labels: np.ndarray) -> float:
-        if self.params is None or self.sharded_state is None:
+    def _init_fused_shards(self, full_state: OptimizerState) -> None:
+        """(Re)shard the replicated slots along the bucketed fused layout."""
+        assert self.params is not None
+        self._plan = BucketPlan(self.params, self.num_buckets, dtype=np.float64)
+        self._bucket = (
+            self._plan.buckets[0] if self._plan.num_buckets == 1 else None
+        )
+        self._bucket_states = [
+            shard_state_segments(full_state, bucket, self.num_replicas)
+            for bucket in self._plan.buckets
+        ]
+        # Back-compat alias: with one bucket this is the old fused layout.
+        self.sharded_state = (
+            self._bucket_states[0] if self._plan.num_buckets == 1 else None
+        )
+
+    def step(self, x: np.ndarray, labels: np.ndarray) -> StepResult:
+        if self.params is None or (
+            self.sharded_state is None and self._bucket_states is None
+        ):
             raise RuntimeError("call init() before step()")
         t0 = _perf()
         tracer = _telemetry.tracer
         with tracer.span("train_step", category="step", actor="trainer"):
             with tracer.span("split", category="input", actor="trainer"):
                 xs, ys = self._split(x, labels)
+            t_split = _perf()
             losses = []
             grads = []
             n = self.num_replicas
@@ -304,21 +336,36 @@ class WeightUpdateShardedTrainer(DataParallelTrainer):
                     losses.append(loss_i)
                     # Pre-scale so the reduce-scatter sum is the global mean.
                     grads.append({k: v / n for k, v in g_i.items()})
+            t_fb = _perf()
             # The fused reduce-scatter -> sharded update -> all-gather; the
             # comm and update phases emit their own nested spans.
+            launches: list[tuple[float, float]] = []
             with tracer.span("wus_update", category="update", actor="trainer"):
                 if self.fused:
-                    assert self._bucket is not None
-                    self.params, self.sharded_state = bucketed_sharded_update(
-                        self.params,
-                        grads,
-                        self.optimizer,
-                        self.sharded_state,
-                        self.step_index,
-                        self._bucket,
-                        self.grad_dtype_policy,
-                    )
+                    assert self._plan is not None
+                    assert self._bucket_states is not None
+                    for i, bucket in enumerate(self._plan.buckets):
+                        b0 = _perf()
+                        # flatten() only reads the bucket's own names, so the
+                        # full trees pass through unchanged.
+                        new_params, self._bucket_states[i] = bucketed_sharded_update(
+                            self.params,
+                            grads,
+                            self.optimizer,
+                            self._bucket_states[i],
+                            self.step_index,
+                            bucket,
+                            self.grad_dtype_policy,
+                        )
+                        self.params = {**self.params, **new_params}
+                        launches.append(
+                            (bucket.size * bucket.dtype.itemsize, _perf() - b0)
+                        )
+                    if self._plan.num_buckets == 1:
+                        self.sharded_state = self._bucket_states[0]
                 else:
+                    assert self.sharded_state is not None
+                    b0 = _perf()
                     self.params, self.sharded_state = sharded_update(
                         self.params,
                         grads,
@@ -327,9 +374,31 @@ class WeightUpdateShardedTrainer(DataParallelTrainer):
                         self.step_index,
                         self.grad_dtype_policy,
                     )
+                    payload = sum(
+                        np.asarray(p).size * 8.0 for p in self.params.values()
+                    )
+                    launches.append((payload, _perf() - b0))
+            t_update = _perf()
+            self._last_launches = launches
+            if self.overlap:
+                # Each bucket's modeled occupancy is its whole pipeline stage
+                # (reduce-scatter + sharded update + all-gather): that is
+                # what serializes on the reduce network under WUS.
+                with tracer.span("overlap_model", category="overlap", actor="trainer"):
+                    self.last_overlap = self._model_overlap(t_fb - t_split)
+        result = StepResult(
+            float(np.mean(losses)),
+            phase_seconds={
+                "split": t_split - t0,
+                "forward_backward": t_fb - t_split,
+                "wus_update": t_update - t_fb,
+            },
+            bytes_moved=sum(nbytes for nbytes, _ in launches),
+            step_index=self.step_index,
+        )
         self.step_index += 1
-        self._record_step(_perf() - t0)
-        return float(np.mean(losses))
+        self._record_step(_perf() - t0, result)
+        return result
 
     def save_checkpoint(self) -> TrainerCheckpoint:
         """Snapshot with the sharded optimizer state **reassembled**.
@@ -341,12 +410,20 @@ class WeightUpdateShardedTrainer(DataParallelTrainer):
         data movement — no arithmetic — so a same-shape round trip is
         bit-exact.
         """
-        if self.params is None or self.sharded_state is None:
+        if self.params is None or (
+            self.sharded_state is None and self._bucket_states is None
+        ):
             raise RuntimeError("call init() before save_checkpoint()")
         if self.fused:
-            assert self._bucket is not None
-            full = unshard_state_segments(self.sharded_state, self._bucket)
+            assert self._plan is not None
+            assert self._bucket_states is not None
+            merged: OptimizerState = {}
+            for bucket, states in zip(self._plan.buckets, self._bucket_states):
+                merged.update(unshard_state_segments(states, bucket))
+            # Buckets cover the tree in reverse order; restore template order.
+            full = {name: merged[name] for name in self.params}
         else:
+            assert self.sharded_state is not None
             full = unshard_states(self.sharded_state, self.params)
         ckpt = TrainerCheckpoint(
             step_index=self.step_index,
@@ -371,11 +448,12 @@ class WeightUpdateShardedTrainer(DataParallelTrainer):
         self.step_index = ckpt.step_index
         full = _copy_state(ckpt.opt_state)
         if self.fused:
-            self._bucket = GradientBucket(self.params, dtype=np.float64)
-            self.sharded_state = shard_state_segments(
-                full, self._bucket, self.num_replicas
-            )
+            self._init_fused_shards(full)
         else:
             self._bucket = None
+            self._plan = None
+            self._bucket_states = None
             self.sharded_state = shard_states(full, self.num_replicas)
+        self._last_launches = []
+        self.last_overlap = None
         self.state = None  # slots only exist sharded, as after init()

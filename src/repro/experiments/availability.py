@@ -42,7 +42,7 @@ from repro.controlplane import (
     RiskAdaptive,
     SingleClientCoordinator,
 )
-from repro.core.weight_update_sharding import WeightUpdateShardedTrainer
+from repro.core.trainer import TrainerConfig, make_trainer
 from repro.experiments.report import Table
 from repro.frameworks.base import GraphProfile
 from repro.models.mlp import MLP
@@ -123,12 +123,17 @@ def chaos_demo(seed: int = 7) -> Table:
     failures, bit-identical to a plain uninterrupted run).
     """
 
+    trainer_config = TrainerConfig(
+        model=MLP([8, 16, 4]),
+        optimizer=Adam(learning_rate=0.01),
+        strategy="wus",
+        seed=seed,
+    )
+
     def factory(num_replicas: int):
-        trainer = WeightUpdateShardedTrainer(
-            MLP([8, 16, 4]), Adam(learning_rate=0.01), num_replicas=num_replicas
-        )
-        trainer.init(np.random.default_rng(seed))
-        return trainer
+        # The same trainer run_chaos builds internally from trainer_config;
+        # the replay check needs its own handle to re-execute from scratch.
+        return make_trainer(trainer_config.with_(mesh_shape=(num_replicas, 1)))
 
     def batch(step: int):
         rng = np.random.default_rng(10_000 + step)
@@ -149,7 +154,7 @@ def chaos_demo(seed: int = 7) -> Table:
             expected_chip_failures=expected,
         )
         report = run_chaos(
-            plan, config, trainer_factory=factory, batch_fn=batch
+            plan, config, trainer_config=trainer_config, batch_fn=batch
         )
         table.add_row(
             f"{expected:.0f}",

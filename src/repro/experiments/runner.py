@@ -17,6 +17,7 @@ import sys
 from repro.experiments import (
     ablations,
     availability,
+    overlap,
     sensitivity,
     figure5,
     figure6,
@@ -40,6 +41,7 @@ EXPERIMENTS = {
     "figure10": figure10.run,
     "figure11": figure11.run,
     "ablations": ablations.run,
+    "overlap": overlap.run,
     "sensitivity": sensitivity.run,
     "availability": availability.run,
 }

@@ -66,6 +66,7 @@ from repro.resilience.faults import (
 if TYPE_CHECKING:  # runtime imports are deferred to avoid a package cycle
     from repro.controlplane.checkpointing import CheckpointPolicy
     from repro.controlplane.guard import ConsistencyGuard, DesyncEvent
+    from repro.core.trainer import TrainerConfig
 
 logger = logging.getLogger("repro.resilience")
 
@@ -141,6 +142,11 @@ class ChaosReport:
     desync_events: list["DesyncEvent"] = field(default_factory=list)
     losses: list[float] = field(default_factory=list)
     final_params: dict[str, np.ndarray] | None = None
+    #: Wall seconds actually measured per step phase, summed over every
+    #: executed step (populated when the trainer returns ``StepResult``).
+    measured_phase_seconds: dict[str, float] = field(default_factory=dict)
+    #: Fused collective payload actually handed to the wire, summed.
+    measured_bytes_moved: float = 0.0
 
     @property
     def goodput(self) -> float:
@@ -188,6 +194,7 @@ def run_chaos(
     config: ChaosConfig,
     *,
     trainer_factory: TrainerFactory | None = None,
+    trainer_config: "TrainerConfig | None" = None,
     batch_fn: BatchFn | None = None,
     state_bytes: int = 0,
     detector: object | None = None,
@@ -201,6 +208,14 @@ def run_chaos(
     and every restore reshards the last checkpoint onto it.  The global
     batch from ``batch_fn`` must stay divisible by every survivor count
     the plan can produce.
+
+    ``trainer_config`` is the declarative alternative: a
+    :class:`~repro.core.trainer.TrainerConfig` whose ``mesh_shape`` is
+    re-derived as ``(survivors, 1)`` on every (re)formation and built via
+    :func:`~repro.core.trainer.make_trainer` — initialized with the
+    config's ``seed`` (0 if unset, since the harness needs a live
+    trainer).  Mutually exclusive with ``trainer_factory``; still needs
+    ``batch_fn``.
 
     Without one the loop is pure goodput accounting over ``state_bytes``
     of checkpoint payload — no arrays move, so it scales to pod-size
@@ -221,6 +236,22 @@ def run_chaos(
     from repro.controlplane.checkpointing import StepInterval
     from repro.controlplane.guard import DesyncEvent, apply_bit_flips
     from repro.controlplane.heartbeat import OracleDetector
+
+    if trainer_config is not None:
+        if trainer_factory is not None:
+            raise ValueError(
+                "pass either trainer_factory or trainer_config, not both"
+            )
+        from repro.core.trainer import make_trainer
+
+        base_config = trainer_config
+        if base_config.seed is None:
+            base_config = base_config.with_(seed=0)
+
+        def trainer_factory(num_replicas: int) -> object:
+            return make_trainer(
+                base_config.with_(mesh_shape=(num_replicas, 1))
+            )
 
     if (trainer_factory is None) != (batch_fn is None):
         raise ValueError("trainer_factory and batch_fn go together")
@@ -390,7 +421,15 @@ def run_chaos(
         if trainer is not None:
             assert batch_fn is not None
             x, labels = batch_fn(step)
-            report.losses.append(trainer.step(x, labels))
+            res = trainer.step(x, labels)
+            report.losses.append(float(res))
+            phases = getattr(res, "phase_seconds", None)
+            if phases:
+                for phase, seconds in phases.items():
+                    report.measured_phase_seconds[phase] = (
+                        report.measured_phase_seconds.get(phase, 0.0) + seconds
+                    )
+            report.measured_bytes_moved += getattr(res, "bytes_moved", 0.0)
         report.total_seconds += config.base_step_seconds * slowdown
         report.steps_executed += 1
         step += 1

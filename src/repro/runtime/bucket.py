@@ -216,3 +216,82 @@ class GradientBucket:
                 raise ValueError("shard_transform requires the hierarchical schedule")
             flat_results = ring_all_reduce(buffers, dtype_policy)
         return [self.unflatten(r) for r in flat_results]
+
+
+class BucketPlan:
+    """Partition a parameter tree into backprop-ordered gradient buckets.
+
+    Backprop produces gradients from the last declared tensor back to the
+    first, so buckets are *contiguous runs of whole tensors* taken in
+    reverse template order: bucket 0 holds the deepest tensors and is the
+    first whose collective could launch mid-backward.  The greedy split
+    balances element counts, but a tensor is never divided across buckets
+    — per-layer optimizer math (LAMB/LARS trust ratios) stays inside one
+    bucket, and the per-bucket collective arithmetic is exactly a fused
+    :class:`GradientBucket` over that sub-tree.
+
+    Within each bucket, names keep template order; with ``num_buckets=1``
+    the single bucket therefore has the identical layout (names, offsets,
+    dtype) of a plain ``GradientBucket`` over the full tree, which is what
+    keeps the default path bit-identical to the unbucketed trainers.
+
+    ``num_buckets`` is clamped to the number of tensors.
+    """
+
+    def __init__(
+        self,
+        template: Mapping[str, np.ndarray],
+        num_buckets: int = 1,
+        dtype: np.dtype | type | None = None,
+    ) -> None:
+        if num_buckets < 1:
+            raise ValueError("num_buckets must be >= 1")
+        if not template:
+            raise ValueError("bucket plan template must contain at least one tensor")
+        names = list(template)
+        sizes = {
+            name: max(int(np.asarray(template[name]).size), 1) for name in names
+        }
+        total = sum(sizes.values())
+        rev = names[::-1]  # backward production order
+        count = min(num_buckets, len(names))
+        buckets: list[GradientBucket] = []
+        idx = 0
+        remaining = total
+        for b in range(count):
+            buckets_left = count - b
+            target = remaining / buckets_left
+            take: list[str] = []
+            acc = 0
+            while idx < len(rev):
+                # Leave at least one tensor for each bucket after this one.
+                if take and len(rev) - idx <= buckets_left - 1:
+                    break
+                take.append(rev[idx])
+                acc += sizes[rev[idx]]
+                idx += 1
+                if b < count - 1 and acc >= target:
+                    break
+            remaining -= acc
+            members = set(take)
+            ordered = [n for n in names if n in members]
+            buckets.append(
+                GradientBucket({n: template[n] for n in ordered}, dtype=dtype)
+            )
+        self.buckets: tuple[GradientBucket, ...] = tuple(buckets)
+        self.num_buckets = len(self.buckets)
+        self.size = total
+        #: Cumulative element fraction produced once bucket ``i`` is complete
+        #: (launch order) — the ready-time proxy for the overlap engine.
+        cum = 0
+        fractions = []
+        for bucket in self.buckets:
+            cum += bucket.size
+            fractions.append(cum / total)
+        self.ready_fractions: tuple[float, ...] = tuple(fractions)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BucketPlan({self.num_buckets} buckets, {self.size} elems: "
+            f"{[b.size for b in self.buckets]})"
+        )

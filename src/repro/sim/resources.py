@@ -15,6 +15,7 @@ from collections import deque
 from typing import Any
 
 from repro.sim.engine import Event, SimulationError, Simulator
+from repro.sim.trace import Trace
 
 
 class Resource:
@@ -130,6 +131,11 @@ class Channel:
     Transfers are serialized (the link is a single server); each transfer
     occupies the link for ``latency + nbytes / bandwidth`` seconds.  This is
     the standard alpha-beta link model used by the collective schedules.
+
+    Pass ``trace=`` to record every transfer's occupancy window as a
+    :class:`~repro.sim.trace.TraceEvent` (actor ``actor`` or the channel
+    name), which is how the overlap engine exposes its modeled collective
+    timeline to the chrome-trace report.
     """
 
     def __init__(
@@ -138,6 +144,8 @@ class Channel:
         bandwidth: float,
         latency: float = 0.0,
         name: str = "",
+        trace: Trace | None = None,
+        actor: str = "",
     ) -> None:
         if bandwidth <= 0:
             raise SimulationError("bandwidth must be positive")
@@ -147,6 +155,8 @@ class Channel:
         self.bandwidth = bandwidth
         self.latency = latency
         self.name = name
+        self.trace = trace
+        self.actor = actor or name or "channel"
         self._server = Resource(sim, capacity=1)
         self.bytes_moved = 0.0
         self.busy_time = 0.0
@@ -162,7 +172,7 @@ class Channel:
             raise SimulationError("bandwidth factor must be positive")
         return self.latency + nbytes / (self.bandwidth * factor)
 
-    def transfer(self, nbytes: float, factor: float = 1.0):
+    def transfer(self, nbytes: float, factor: float = 1.0, label: str = ""):
         """Process helper: move ``nbytes`` over the link (FIFO-serialized)."""
         if nbytes < 0:
             raise SimulationError("transfer size must be non-negative")
@@ -170,9 +180,14 @@ class Channel:
         req = self._server.acquire()
         yield req
         try:
+            start = self.sim.now
             yield self.sim.timeout(duration)
             self.bytes_moved += nbytes
             self.busy_time += duration
+            if self.trace is not None:
+                self.trace.record(
+                    self.actor, label or "transfer", start, duration, "comm"
+                )
         finally:
             self._server.release()
 

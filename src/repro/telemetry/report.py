@@ -79,6 +79,13 @@ def step_breakdown(trace: Trace | None = None, registry=None) -> str:
         "bucket_segment_cache_hits",
         "bucket_segment_cache_misses",
         "train_steps",
+        "step_phase_seconds",
+        "overlap_steps",
+        "overlap_comm_seconds",
+        "overlap_exposed_seconds",
+        "overlap_hidden_seconds",
+        "overlap_efficiency",
+        "overlap_buckets",
         "input_prefetch_stall_seconds",
         "resilience_checkpoints",
         "resilience_checkpoint_bytes",
@@ -193,7 +200,7 @@ def demo_run(
         simulate_ring_all_gather,
         simulate_ring_reduce_scatter,
     )
-    from repro.core.weight_update_sharding import WeightUpdateShardedTrainer
+    from repro.core.trainer import TrainerConfig, make_trainer
     from repro.hardware.rings import all_y_rings
     from repro.hardware.topology import TorusMesh
     from repro.models.mlp import MLP
@@ -203,12 +210,21 @@ def demo_run(
     n = x_size * y_size
     rng = np.random.default_rng(seed)
 
-    # (a) A real training run: every collective, bucket, and trainer span.
+    # (a) A real training run: every collective, bucket, and trainer span —
+    #     in bucketed-overlap mode so the overlap_* counters and modeled
+    #     schedule land in the report too.
     model = MLP([16, 32, 10])
-    trainer = WeightUpdateShardedTrainer(
-        model, SGDMomentum(learning_rate=0.05), num_replicas=n
+    trainer = make_trainer(
+        TrainerConfig(
+            model=model,
+            optimizer=SGDMomentum(learning_rate=0.05),
+            strategy="wus",
+            mesh_shape=(n, 1),
+            num_buckets=min(4, n) if n > 1 else 1,
+            overlap=n > 1,
+            seed=seed,
+        )
     )
-    trainer.init(rng)
     for _ in range(steps):
         x = rng.standard_normal((4 * n, 16))
         labels = rng.integers(0, 10, size=4 * n)
@@ -228,6 +244,10 @@ def demo_run(
     sim_trace = Trace()
     sim_trace.record("torus", "reduce_scatter_y", 0.0, rs, "comm")
     sim_trace.record("torus", "all_gather_y", rs, ag, "comm")
+    # The modeled overlap schedule of the last step, on its own source lane.
+    last_overlap = getattr(trainer, "last_overlap", None)
+    if last_overlap is not None:
+        sim_trace.merge(last_overlap.trace, source="overlap")
     return sim_trace
 
 

@@ -27,6 +27,12 @@ class TestConfig:
         with pytest.raises(ValueError):
             ParallelismConfig(num_chips=3, global_batch=8, mp_cores=4)
 
+    def test_oversized_mp_reports_capacity_not_divisibility(self):
+        # mp_cores=16 on a 4-core slice trips both checks; the capacity
+        # error must win — "not divisible" would misdirect the fix.
+        with pytest.raises(ValueError, match="exceeds total cores"):
+            ParallelismConfig(num_chips=2, global_batch=64, mp_cores=16)
+
     def test_invalid_values(self):
         with pytest.raises(ValueError):
             ParallelismConfig(num_chips=0, global_batch=8)
