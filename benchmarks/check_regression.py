@@ -1,0 +1,129 @@
+"""Fail CI when a collective-kernel benchmark regresses past 3x committed.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_regression.py \
+        [--baseline BENCH_collectives.json] [--threshold 3.0]
+
+Re-runs the committed benchmark cases with pytest-benchmark enabled and
+compares each fresh median against the median recorded in
+``BENCH_collectives.json``.  CI machines are slower and noisier than the
+workstation that wrote the committed record, so this is a *smoke* gate:
+only a regression beyond ``--threshold`` (default 3x) fails, which is far
+outside machine-class variance but well inside the 10-100x cliffs that an
+accidental fall off the device-major fast path produces.
+
+Only cases at <= 256 devices run here: the 1024/4096-device cases need
+GiB-scale fixtures and are recorded by ``run_benchmarks.py`` on the
+benchmark machine instead.  Reference twins (``*_reference``) are also
+skipped — they pin the before/after table, not the product kernels.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: Names never gated: reference twins are the intentionally-slow oracle.
+SKIP_SUFFIX = "_reference"
+MAX_DEVICES = 256
+
+
+def committed_cases(baseline: Path) -> dict[str, int]:
+    record = json.loads(baseline.read_text())
+    gated = {}
+    for case in record["cases"]:
+        name = case["name"]
+        if name.endswith(SKIP_SUFFIX):
+            continue
+        devices = case.get("devices")
+        if devices is not None and devices > MAX_DEVICES:
+            continue
+        gated[name] = case["median_ns"]
+    return gated
+
+
+def run_cases(names: list[str], json_path: Path) -> None:
+    # -k matches substrings, so gated names like test_ring_all_reduce_f32
+    # would also select their _1024dev/_4096dev big siblings; exclude the
+    # pod-scale cases explicitly (GiB fixtures, not gated here anyway).
+    expr = (
+        "(" + " or ".join(names) + ") and not 1024dev and not 4096dev"
+    )
+    cmd = [
+        sys.executable, "-m", "pytest",
+        str(REPO / "benchmarks"),
+        "-q",
+        "-k", expr,
+        "--benchmark-enable",
+        "--benchmark-only",
+        f"--benchmark-json={json_path}",
+    ]
+    env = {**os.environ, "PYTHONPATH": str(REPO / "src")}
+    result = subprocess.run(cmd, cwd=REPO, env=env)
+    if result.returncode != 0:
+        raise SystemExit(result.returncode)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=REPO / "BENCH_collectives.json",
+        help="committed benchmark record to gate against",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=3.0,
+        help="fail when fresh median exceeds committed median by this factor",
+    )
+    args = parser.parse_args()
+
+    gated = committed_cases(args.baseline)
+    if not gated:
+        raise SystemExit("no gateable cases in baseline record")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        raw_path = Path(tmp) / "raw.json"
+        run_cases(sorted(gated), raw_path)
+        raw = json.loads(raw_path.read_text())
+
+    fresh = {
+        b["name"]: b["stats"]["median"] * 1e9 for b in raw["benchmarks"]
+    }
+    failures = []
+    for name, committed_ns in sorted(gated.items()):
+        got_ns = fresh.get(name)
+        if got_ns is None:
+            failures.append(f"{name}: case missing from fresh run")
+            continue
+        ratio = got_ns / committed_ns
+        status = "FAIL" if ratio > args.threshold else "ok"
+        print(
+            f"  {status:4s} {name:45s} committed {committed_ns / 1e6:9.3f} ms"
+            f"  fresh {got_ns / 1e6:9.3f} ms  ({ratio:.2f}x)"
+        )
+        if ratio > args.threshold:
+            failures.append(
+                f"{name}: {ratio:.2f}x over committed median "
+                f"(threshold {args.threshold}x)"
+            )
+    if failures:
+        print("\nbenchmark regression gate FAILED:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        raise SystemExit(1)
+    print(f"\nall {len(gated)} gated cases within {args.threshold}x")
+
+
+if __name__ == "__main__":
+    main()

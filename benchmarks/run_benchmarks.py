@@ -37,6 +37,18 @@ SEED_MEDIANS_NS = {
     "test_two_phase_all_reduce": 2_119_800,
 }
 
+#: Medians committed by the previous (pre-device-major) PR, same machine
+#: class.  These kernels iterated devices in Python; the stacked rewrite
+#: replaces that with O(ring_steps) whole-block numpy ops, and the
+#: ``speedup_vs_prior`` column in the record tracks the win per case.
+PRIOR_MEDIANS_NS = {
+    "test_ring_all_reduce_f32": 536_704,
+    "test_ring_all_reduce_bf16": 2_976_313,
+    "test_two_phase_all_reduce": 766_758,
+    "test_ring_all_reduce_f32_256dev": 38_139_905,
+    "test_bucketed_all_reduce": 4_609_353,
+}
+
 
 def run_suite(json_path: Path) -> None:
     cmd = [
@@ -74,6 +86,7 @@ def distill(raw: dict) -> dict:
     cases.sort(key=lambda c: c["name"])
     speedups = {}
     seed_speedups = {}
+    prior_speedups = {}
     by_name = {c["name"]: c for c in cases}
     for name, case in by_name.items():
         ref = by_name.get(name + "_reference")
@@ -82,13 +95,18 @@ def distill(raw: dict) -> dict:
         seed = SEED_MEDIANS_NS.get(name)
         if seed is not None:
             seed_speedups[name] = round(seed / case["median_ns"], 2)
+        prior = PRIOR_MEDIANS_NS.get(name)
+        if prior is not None:
+            prior_speedups[name] = round(prior / case["median_ns"], 2)
     return {
         "machine": raw.get("machine_info", {}).get("machine"),
         "python": raw.get("machine_info", {}).get("python_version"),
         "cases": cases,
         "seed_medians_ns": SEED_MEDIANS_NS,
+        "prior_medians_ns": PRIOR_MEDIANS_NS,
         "speedup_vs_reference": speedups,
         "speedup_vs_seed": seed_speedups,
+        "speedup_vs_prior": prior_speedups,
     }
 
 
@@ -117,6 +135,8 @@ def main() -> None:
         print(f"  speedup {name}: {speedup}x vs reference")
     for name, speedup in sorted(record["speedup_vs_seed"].items()):
         print(f"  speedup {name}: {speedup}x vs seed")
+    for name, speedup in sorted(record["speedup_vs_prior"].items()):
+        print(f"  speedup {name}: {speedup}x vs prior PR")
 
 
 if __name__ == "__main__":

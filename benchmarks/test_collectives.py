@@ -4,8 +4,11 @@ Every vectorized kernel is benchmarked next to its step-by-step
 ``_reference_*`` twin (kept in :mod:`repro.runtime.collectives` as the
 bit-identity oracle), so a single ``--benchmark-enable`` run produces the
 before/after speedup table that ``benchmarks/run_benchmarks.py`` writes to
-``BENCH_collectives.json``.  The 256-device case guards the scaling claim:
-a full ring all-reduce at pod scale must stay under two seconds.
+``BENCH_collectives.json``.  The pod-scale cases guard the scaling claim:
+the device-major (stacked) path runs full-mesh all-reduces at 256, 1024
+and 4096 devices, each of which must stay under two seconds per call.
+The ``_reference_*`` twins are only benchmarked at 16 devices — at 4096
+the O(n^2)-Python-steps reference takes minutes per round.
 """
 
 import time
@@ -18,12 +21,16 @@ from repro.runtime.collectives import (
     _reference_ring_all_reduce,
     _reference_two_phase_all_reduce,
     ring_all_reduce,
+    ring_all_reduce_stacked,
     two_phase_all_reduce,
+    two_phase_all_reduce_stacked,
 )
 
 SIZE = 1 << 16
 DEVICES = 16
 BIG_DEVICES = 256
+HUGE_DEVICES = 1024
+MAX_DEVICES = 4096
 
 
 @pytest.fixture(scope="module")
@@ -42,11 +49,22 @@ def grid_inputs():
 
 
 @pytest.fixture(scope="module")
-def big_ring_inputs():
+def big_ring_block():
     rng = np.random.default_rng(1)
-    return [
-        rng.standard_normal(SIZE).astype(np.float32) for _ in range(BIG_DEVICES)
-    ]
+    return rng.standard_normal((BIG_DEVICES, SIZE)).astype(np.float32)
+
+
+@pytest.fixture(scope="module")
+def huge_ring_block():
+    rng = np.random.default_rng(3)
+    return rng.standard_normal((HUGE_DEVICES, SIZE)).astype(np.float32)
+
+
+@pytest.fixture(scope="module")
+def max_ring_block():
+    # 4096 x 64K floats = 1 GiB of gradients, the full-pod configuration.
+    rng = np.random.default_rng(4)
+    return rng.standard_normal((MAX_DEVICES, SIZE)).astype(np.float32)
 
 
 @pytest.fixture(scope="module")
@@ -111,14 +129,59 @@ def test_two_phase_all_reduce_reference(benchmark, grid_inputs):
     assert np.allclose(out[0][0], truth, rtol=1e-4, atol=1e-3)
 
 
-def test_ring_all_reduce_f32_256dev(benchmark, big_ring_inputs):
-    """Pod-scale ring: 256 devices x 64K floats must finish in < 2 s."""
+def test_ring_all_reduce_f32_256dev(benchmark, big_ring_block):
+    """Pod-scale ring on the device-major path: 256 devices x 64K floats."""
     _annotate(benchmark, BIG_DEVICES, SIZE)
-    out = benchmark(ring_all_reduce, big_ring_inputs, "f32")
-    truth = np.sum(big_ring_inputs, axis=0, dtype=np.float64)
-    assert np.allclose(out[0], truth, rtol=1e-3, atol=1e-2)
+    out = benchmark(ring_all_reduce_stacked, big_ring_block, "f32")
+    truth = np.sum(big_ring_block, axis=0, dtype=np.float64)
+    assert np.allclose(out.device_view(0), truth, rtol=1e-3, atol=1e-2)
     start = time.perf_counter()
-    ring_all_reduce(big_ring_inputs, "f32")
+    ring_all_reduce_stacked(big_ring_block, "f32")
+    assert time.perf_counter() - start < 2.0
+
+
+def test_ring_all_reduce_f32_1024dev(benchmark, huge_ring_block):
+    """1024-device full ring, stacked path: must stay under two seconds."""
+    _annotate(benchmark, HUGE_DEVICES, SIZE)
+    out = benchmark(ring_all_reduce_stacked, huge_ring_block, "f32")
+    truth = np.sum(huge_ring_block, axis=0, dtype=np.float64)
+    assert np.allclose(out.device_view(0), truth, rtol=1e-3, atol=1e-1)
+    start = time.perf_counter()
+    ring_all_reduce_stacked(huge_ring_block, "f32")
+    assert time.perf_counter() - start < 2.0
+
+
+def test_ring_all_reduce_f32_4096dev(benchmark, max_ring_block):
+    """4096-device full ring over 1 GiB of gradients, stacked path."""
+    _annotate(benchmark, MAX_DEVICES, SIZE)
+    out = benchmark(ring_all_reduce_stacked, max_ring_block, "f32")
+    truth = np.sum(max_ring_block, axis=0, dtype=np.float64)
+    assert np.allclose(out.device_view(0), truth, rtol=1e-3, atol=1e-1)
+    start = time.perf_counter()
+    ring_all_reduce_stacked(max_ring_block, "f32")
+    assert time.perf_counter() - start < 2.0
+
+
+def test_two_phase_all_reduce_1024dev(benchmark, huge_ring_block):
+    """32x32 torus two-phase all-reduce on the stacked path."""
+    _annotate(benchmark, HUGE_DEVICES, SIZE)
+    out = benchmark(
+        two_phase_all_reduce_stacked, huge_ring_block, (32, 32), "f32"
+    )
+    truth = np.sum(huge_ring_block, axis=0, dtype=np.float64)
+    assert np.allclose(out.device_view(0), truth, rtol=1e-3, atol=1e-1)
+
+
+def test_two_phase_all_reduce_4096dev(benchmark, max_ring_block):
+    """64x64 torus two-phase all-reduce, the paper's full-pod grid shape."""
+    _annotate(benchmark, MAX_DEVICES, SIZE)
+    out = benchmark(
+        two_phase_all_reduce_stacked, max_ring_block, (64, 64), "f32"
+    )
+    truth = np.sum(max_ring_block, axis=0, dtype=np.float64)
+    assert np.allclose(out.device_view(0), truth, rtol=1e-3, atol=1e-1)
+    start = time.perf_counter()
+    two_phase_all_reduce_stacked(max_ring_block, (64, 64), "f32")
     assert time.perf_counter() - start < 2.0
 
 

@@ -14,6 +14,7 @@ chunk to its ring neighbor, with a barrier between steps.
 from __future__ import annotations
 
 import logging
+from collections import OrderedDict
 from dataclasses import dataclass
 from functools import lru_cache
 from time import perf_counter as _perf
@@ -83,6 +84,17 @@ def _ring_phase(sim: Simulator, channels, mesh: TorusMesh, ring: Ring,
         yield sim.all_of(sends)
 
 
+#: Memoized healthy-phase results keyed by (topology, rings, payload,
+#: direction).  The DES is deterministic, so a repeated (mesh, schedule,
+#: payload) point — payload sweeps, trainer steps re-modeling the same
+#: collective — returns its virtual time without re-running the event loop.
+#: Bounded LRU; degraded/fault-injected phases are never memoized (their
+#: outcome depends on the mutable FaultPlan/RetryPolicy state).
+_PHASE_CACHE: OrderedDict[tuple, float] = OrderedDict()
+_PHASE_CACHE_MAXSIZE = 1024
+_PHASE_CACHE_MISS = object()
+
+
 def _simulate_phase(
     mesh: TorusMesh,
     rings: list[Ring],
@@ -91,6 +103,15 @@ def _simulate_phase(
 ) -> float:
     if payload_bytes < 0:
         raise ValueError("payload_bytes must be non-negative")
+    key = (mesh, tuple(rings), float(payload_bytes), bidirectional)
+    cached = _PHASE_CACHE.get(key, _PHASE_CACHE_MISS)
+    if cached is not _PHASE_CACHE_MISS:
+        _PHASE_CACHE.move_to_end(key)
+        if _telemetry.enabled:
+            _telemetry.metrics.counter("sim_phase_cache_hits").inc()
+        return cached  # type: ignore[return-value]
+    if _telemetry.enabled:
+        _telemetry.metrics.counter("sim_phase_cache_misses").inc()
     sim = Simulator()
     channels = _build_channels(sim, mesh)
     for ring in rings:
@@ -101,7 +122,11 @@ def _simulate_phase(
             sim.process(_ring_phase(sim, channels, mesh, ring, payload_bytes / 2, True))
         else:
             sim.process(_ring_phase(sim, channels, mesh, ring, payload_bytes, False))
-    return sim.run()
+    result = sim.run()
+    while len(_PHASE_CACHE) >= _PHASE_CACHE_MAXSIZE:
+        _PHASE_CACHE.popitem(last=False)
+    _PHASE_CACHE[key] = result
+    return result
 
 
 def simulate_ring_reduce_scatter(

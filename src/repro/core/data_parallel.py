@@ -22,7 +22,6 @@ from repro.models.mlp import MLP
 from repro.optim.base import Optimizer, OptimizerState, Params
 from repro.resilience.checkpoint import TrainerCheckpoint, record_checkpoint_metrics
 from repro.runtime.bucket import BucketPlan, GradientBucket
-from repro.runtime.collectives import ring_all_reduce, two_phase_all_reduce
 
 
 def _copy_params(params: Params) -> Params:
@@ -163,6 +162,9 @@ class DataParallelTrainer:
         self.step_index = 0
         self._bucket: GradientBucket | None = None
         self._plan: BucketPlan | None = None
+        #: Persistent device-major gradient stacks, one per bucket index:
+        #: the (n, bucket.size) block the replicas flatten into each step.
+        self._grad_blocks: dict[int, np.ndarray] = {}
         self._last_launches: list[tuple[float, float]] = []
         #: Overlap timeline of the most recent step (``overlap=True`` only).
         self.last_overlap: OverlapResult | None = None
@@ -178,6 +180,7 @@ class DataParallelTrainer:
         self.step_index = 0
         self._bucket = None
         self._plan = None
+        self._grad_blocks = {}
         self.last_overlap = None
 
     def _collective_plan(self, template: dict) -> BucketPlan:
@@ -215,24 +218,30 @@ class DataParallelTrainer:
         plan = self._collective_plan(per_replica_grads[0])
         mean: dict = {}
         launches: list[tuple[float, float]] = []
-        for bucket in plan.buckets:
+        for bi, bucket in enumerate(plan.buckets):
             t0 = _perf()
-            buffers = [bucket.flatten(g) for g in per_replica_grads]
-            for buf in buffers:
-                # Replicas contribute grad/n so the collective yields the mean
-                # over the global batch (each replica loss is a micro-batch
-                # mean).
-                buf /= n
-            if self.dp_x > 1 and self.dp_y > 1:
-                grid = [
-                    [buffers[x * self.dp_y + y] for y in range(self.dp_y)]
-                    for x in range(self.dp_x)
-                ]
-                reduced = two_phase_all_reduce(grid, self.grad_dtype_policy)
-                flat = reduced[0][0]
-            else:
-                flat = ring_all_reduce(buffers, self.grad_dtype_policy)[0]
-            mean.update(bucket.unflatten(flat))
+            block = self._grad_blocks.get(bi)
+            if block is None or block.shape != (n, bucket.size):
+                block = self._grad_blocks[bi] = np.empty(
+                    (n, bucket.size), dtype=bucket.dtype
+                )
+            for i, g in enumerate(per_replica_grads):
+                bucket.flatten(g, out=block[i])
+            # Replicas contribute grad/n so the collective yields the mean
+            # over the global batch (each replica loss is a micro-batch
+            # mean).  One whole-stack scale — elementwise identical to the
+            # old per-replica loop.
+            block /= n
+            reduced = bucket.all_reduce_stacked(
+                block,
+                self.grad_dtype_policy,
+                grid_shape=(self.dp_x, self.dp_y)
+                if self.dp_x > 1 and self.dp_y > 1
+                else None,
+            )
+            # The replicated result's physical row is freshly owned by the
+            # collective, so the optimizer may update through these views.
+            mean.update(bucket.unflatten(reduced.block[0]))
             launches.append(
                 (bucket.size * bucket.dtype.itemsize, _perf() - t0)
             )

@@ -38,7 +38,7 @@ from repro.runtime.bucket import BucketPlan, GradientBucket
 from repro.runtime.collectives import (
     ShardedValue,
     padded_chunk_layout,
-    ring_all_gather,
+    ring_all_gather_stacked,
     ring_reduce_scatter,
 )
 from repro.core.data_parallel import (
@@ -135,15 +135,17 @@ def sharded_update(
             )
             new_chunks.append(np.asarray(new_chunk, dtype=np.float64))
             new_states[d][name] = new_slot
-        # 3. all-gather the updated weight shards back to full replicas.
-        gathered = ring_all_gather(
+        # 3. all-gather the updated weight shards; the result is lazily
+        #    replicated (one physical buffer) and the cast below copies it
+        #    into the independently owned replica the trainer keeps.
+        gathered = ring_all_gather_stacked(
             ShardedValue(
                 shards=new_chunks,
                 shape=param.shape,
                 padded_size=sum(c.size for c in new_chunks),
             )
         )
-        new_params[name] = gathered[0].astype(param.dtype)
+        new_params[name] = gathered.device_view(0).astype(param.dtype)
     return new_params, new_states
 
 
@@ -195,10 +197,13 @@ def bucketed_sharded_update(
     if len(sharded_state) != n:
         raise ValueError("sharded_state must have one entry per device")
     flat_params = bucket.flatten(params)
-    # 1. ONE fused reduce-scatter over the whole model's gradients.
-    sharded = ring_reduce_scatter(
-        [bucket.flatten(g) for g in per_device_grads], dtype_policy
-    )
+    # 1. ONE fused reduce-scatter over the whole model's gradients, fed as
+    #    a single device-major (n, bucket.size) stack so quantization and
+    #    the ring sweeps run whole-block.
+    grad_block = np.empty((n, bucket.size), dtype=bucket.dtype)
+    for d, g in enumerate(per_device_grads):
+        bucket.flatten(g, out=grad_block[d])
+    sharded = ring_reduce_scatter(grad_block, dtype_policy)
     grad_shards = sharded.shards
     windows = bucket.shard_segments(n)
     with _telemetry.tracer.span("sharded_update", category="update"):
@@ -233,13 +238,14 @@ def bucketed_sharded_update(
                 )
                 new_chunks[d][seg.local_slice] = np.asarray(new_vals, dtype=np.float64)
                 new_states[d][seg.name] = new_slot
-    # 3. ONE fused all-gather of the updated weight shards.
-    gathered = ring_all_gather(
+    # 3. ONE fused all-gather of the updated weight shards (lazily
+    #    replicated; the per-param astype below copies out of it).
+    gathered = ring_all_gather_stacked(
         ShardedValue(
             shards=new_chunks, shape=(bucket.size,), padded_size=n * chunk
         )
     )
-    new_flat = gathered[0]
+    new_flat = gathered.device_view(0)
     new_params = {
         name: new_flat[bucket.slice_of(name)]
         .reshape(bucket.shapes[name])

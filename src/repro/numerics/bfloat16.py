@@ -9,6 +9,8 @@ conversion — bit-identical to the hardware behaviour for normal numbers.
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 import numpy as np
 
 #: Machine epsilon of bfloat16 (2**-7): relative error bound of one rounding.
@@ -17,17 +19,22 @@ BF16_EPS = 2.0 ** -7
 #: Pooled temporaries for the in-place rounding path, keyed by
 #: (shape, dtype).  The ring kernels round thousands of segments per
 #: collective; reusing the bias/NaN-mask buffers keeps those calls
-#: allocation-free.  Not thread-safe (nothing in this layer is).
-_SCRATCH: dict[tuple, np.ndarray] = {}
+#: allocation-free.  Bounded LRU: distinct-shape sweeps evict the oldest
+#: buffers instead of clearing the whole pool (which would throw away the
+#: hot-loop entries too).  Not thread-safe (nothing in this layer is).
+_SCRATCH: OrderedDict[tuple, np.ndarray] = OrderedDict()
+_SCRATCH_MAXSIZE = 256
 
 
 def _tmp(shape: tuple[int, ...], dtype) -> np.ndarray:
     key = (shape, np.dtype(dtype).str)
     buf = _SCRATCH.get(key)
-    if buf is None:
-        if len(_SCRATCH) >= 256:
-            _SCRATCH.clear()
-        buf = _SCRATCH[key] = np.empty(shape, dtype)
+    if buf is not None:
+        _SCRATCH.move_to_end(key)
+        return buf
+    while len(_SCRATCH) >= _SCRATCH_MAXSIZE:
+        _SCRATCH.popitem(last=False)
+    buf = _SCRATCH[key] = np.empty(shape, dtype)
     return buf
 
 

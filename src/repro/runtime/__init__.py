@@ -14,21 +14,29 @@ from repro.runtime.collectives import (
     padded_chunk_layout,
     ring_reduce_scatter,
     ring_all_gather,
+    ring_all_gather_stacked,
     ring_all_reduce,
+    ring_all_reduce_stacked,
     two_phase_all_reduce,
+    two_phase_all_reduce_stacked,
     reduce_scatter_grid,
     all_gather_grid,
 )
 from repro.runtime.bucket import BucketSegment, GradientBucket
 from repro.runtime.mesh import VirtualMesh
+from repro.runtime.stacked import StackedValue
 
 __all__ = [
     "ShardedValue",
+    "StackedValue",
     "padded_chunk_layout",
     "ring_reduce_scatter",
     "ring_all_gather",
+    "ring_all_gather_stacked",
     "ring_all_reduce",
+    "ring_all_reduce_stacked",
     "two_phase_all_reduce",
+    "two_phase_all_reduce_stacked",
     "reduce_scatter_grid",
     "all_gather_grid",
     "BucketSegment",

@@ -33,8 +33,11 @@ from repro import telemetry as _telemetry
 from repro.runtime.collectives import (
     padded_chunk_layout,
     ring_all_reduce,
+    ring_all_reduce_stacked,
     two_phase_all_reduce,
+    two_phase_all_reduce_stacked,
 )
+from repro.runtime.stacked import StackedValue
 
 
 @dataclass(frozen=True)
@@ -216,6 +219,41 @@ class GradientBucket:
                 raise ValueError("shard_transform requires the hierarchical schedule")
             flat_results = ring_all_reduce(buffers, dtype_policy)
         return [self.unflatten(r) for r in flat_results]
+
+    def all_reduce_stacked(
+        self,
+        block: np.ndarray | StackedValue,
+        dtype_policy: str = "f32",
+        grid_shape: tuple[int, int] | None = None,
+        shard_transform=None,
+    ) -> StackedValue:
+        """Device-major fused collective: one stacked block in, one out.
+
+        ``block`` is the ``(n, self.size)`` device-major stack of fused
+        flat buffers (x-major device order when ``grid_shape`` is given).
+        Returns the reduced fused buffer as a lazily *replicated*
+        :class:`StackedValue` — same ring arithmetic as
+        :meth:`all_reduce`, without materializing per-device result
+        copies.  Unflatten a device's view (zero-copy, read-only) with
+        :meth:`unflatten` when named tensors are needed.
+        """
+        with _telemetry.tracer.span("bucket_all_reduce", category="comm"):
+            n = (
+                block.num_devices
+                if isinstance(block, StackedValue)
+                else block.shape[0]
+            )
+            if grid_shape is not None:
+                x_size, y_size = grid_shape
+                if x_size * y_size != n:
+                    raise ValueError("grid_shape does not match number of devices")
+                return two_phase_all_reduce_stacked(
+                    block, grid_shape, dtype_policy,
+                    shard_transform=shard_transform,
+                )
+            if shard_transform is not None:
+                raise ValueError("shard_transform requires the hierarchical schedule")
+            return ring_all_reduce_stacked(block, dtype_policy)
 
 
 class BucketPlan:

@@ -28,14 +28,29 @@ Two implementations coexist (DESIGN.md §6):
   **bit-identical** to the reference kernels under every dtype policy
   (property-tested in ``tests/test_runtime_collectives.py``).
 
+Every public collective also has a **device-major** entry point
+(DESIGN.md §12): inputs may arrive as one stacked ``(n_devices, *shape)``
+block (or :class:`~repro.runtime.stacked.StackedValue`) instead of a list
+of per-device arrays, and the ``*_stacked`` variants return a *replicated*
+``StackedValue`` — one physical result buffer lazily viewed by every
+device — instead of materializing ``n`` identical copies.  The grid
+collectives batch their independent column/row rings into single stacked
+kernel calls (:func:`_linear_ring_passes_batched`), so a 64x64-grid phase
+is ``O(ring_steps)`` numpy operations rather than ``O(x * y *
+ring_steps)`` Python iterations.  This is what pushes the runtime from
+~256 to 4096 real devices.
+
 Padding metadata is cached keyed by ``(n, size)`` and quantization staging
-buffers are pooled keyed by shape/dtype, so repeated steps — the trainer
-hot loop — pay zero setup and zero large allocations beyond their outputs.
+buffers are pooled keyed by shape/dtype — both behind *bounded* LRUs so a
+workload sweeping many distinct shapes cannot grow them without limit —
+and repeated steps (the trainer hot loop) pay zero setup and zero large
+allocations beyond their outputs.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from collections import OrderedDict
+from dataclasses import dataclass, field
 from functools import lru_cache
 from time import perf_counter as _perf
 from typing import Callable, Sequence
@@ -44,6 +59,7 @@ import numpy as np
 
 from repro import telemetry as _telemetry
 from repro.numerics.bfloat16 import _round_inplace_nonan, bf16_add, round_to_bfloat16
+from repro.runtime.stacked import StackedValue
 
 #: Supported accumulation policies.
 DTYPE_POLICIES = ("f64", "f32", "bf16")
@@ -82,9 +98,14 @@ def _prepare(policy: str, array: np.ndarray) -> np.ndarray:
 # --- cached schedule / padding metadata -------------------------------------
 
 
-@lru_cache(maxsize=None)
+@lru_cache(maxsize=1024)
 def padded_chunk_layout(n: int, size: int) -> tuple[int, int]:
-    """``(padded, chunk)`` for splitting a ``size``-element buffer n ways."""
+    """``(padded, chunk)`` for splitting a ``size``-element buffer n ways.
+
+    Bounded LRU: a sweep over many distinct ``(n, size)`` pairs (shape
+    searches, hypothesis runs) evicts the oldest layouts instead of growing
+    without limit; the hot-loop pairs stay resident.
+    """
     padded = ((size + n - 1) // n) * n
     return padded, padded // n
 
@@ -114,32 +135,66 @@ def _record_collective(
     m.histogram("collective_seconds", op=op, axis=axis).observe(seconds)
 
 
-def _padding_cache_collector(m) -> None:
-    """Snapshot-time gauges for the padding-layout ``lru_cache``."""
+class _LRUBufferPool:
+    """Bounded LRU of reusable staging buffers keyed by (shape, dtype).
+
+    The old pool cleared itself wholesale past a size threshold, throwing
+    away the hot-loop buffers along with the stale ones; this one evicts
+    only least-recently-used entries, and its hit/miss/eviction counts are
+    exact (exposed as ``scratch_pool_cache_*`` gauges at snapshot time).
+    Not thread-safe (nothing in the functional layer is).
+    """
+
+    def __init__(self, maxsize: int) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = maxsize
+        self._buffers: OrderedDict[tuple, np.ndarray] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._buffers)
+
+    def get(self, shape: tuple[int, ...], dtype: np.dtype) -> np.ndarray:
+        key = (shape, np.dtype(dtype).str)
+        buf = self._buffers.get(key)
+        if buf is not None:
+            self._buffers.move_to_end(key)
+            self.hits += 1
+            return buf
+        self.misses += 1
+        while len(self._buffers) >= self.maxsize:
+            self._buffers.popitem(last=False)
+            self.evictions += 1
+        buf = self._buffers[key] = np.empty(shape, dtype)
+        return buf
+
+    def clear(self) -> None:
+        self._buffers.clear()
+
+
+_SCRATCH = _LRUBufferPool(maxsize=32)
+
+
+def _scratch(shape: tuple[int, ...], dtype: np.dtype) -> np.ndarray:
+    return _SCRATCH.get(shape, dtype)
+
+
+def _cache_collector(m) -> None:
+    """Snapshot-time gauges for the padding-layout and scratch-pool caches."""
     info = padded_chunk_layout.cache_info()
     m.gauge("padding_layout_cache_hits").set(info.hits)
     m.gauge("padding_layout_cache_misses").set(info.misses)
     m.gauge("padding_layout_cache_size").set(info.currsize)
+    m.gauge("scratch_pool_cache_hits").set(_SCRATCH.hits)
+    m.gauge("scratch_pool_cache_misses").set(_SCRATCH.misses)
+    m.gauge("scratch_pool_cache_evictions").set(_SCRATCH.evictions)
+    m.gauge("scratch_pool_cache_size").set(len(_SCRATCH))
 
 
-_telemetry.metrics.register_collector(_padding_cache_collector)
-
-
-#: Reusable staging buffers keyed by (shape, dtype) — repeated steps of
-#: the trainer hot loop reuse one allocation instead of paying a multi-MB
-#: mmap + page-fault round trip per collective.  Not thread-safe (nothing in
-#: the functional layer is).
-_SCRATCH: dict[tuple, np.ndarray] = {}
-
-
-def _scratch(shape: tuple[int, ...], dtype: np.dtype) -> np.ndarray:
-    key = (shape, np.dtype(dtype).str)
-    buf = _SCRATCH.get(key)
-    if buf is None:
-        if len(_SCRATCH) >= 16:
-            _SCRATCH.clear()
-        buf = _SCRATCH[key] = np.empty(shape, dtype)
-    return buf
+_telemetry.metrics.register_collector(_cache_collector)
 
 
 @dataclass
@@ -147,12 +202,17 @@ class ShardedValue:
     """Per-device shards of a reduced buffer plus reassembly metadata.
 
     ``shards[d]`` is the flattened chunk owned by device ``d``; chunk ``d``
-    of the padded flat buffer lives on device ``d``.
+    of the padded flat buffer lives on device ``d``.  When the shards are
+    rows of one contiguous ``(n, chunk)`` device-major allocation (the
+    vectorized kernels always produce this), ``block`` is that backing
+    array and the gather/assembly paths read the reduced buffer straight
+    off it with zero concatenation.
     """
 
     shards: list[np.ndarray]
     shape: tuple[int, ...]
     padded_size: int
+    block: np.ndarray | None = field(default=None, repr=False, compare=False)
 
     @property
     def num_devices(self) -> int:
@@ -160,8 +220,12 @@ class ShardedValue:
 
     def assemble(self) -> np.ndarray:
         """Concatenate shards and strip padding back to the original shape."""
-        flat = np.concatenate(self.shards)
         size = int(np.prod(self.shape)) if self.shape else 1
+        if self.block is not None:
+            # Copy: assemble() has always returned freshly owned memory.
+            flat = self.block.reshape(-1)[:size].copy()
+        else:
+            flat = np.concatenate(self.shards)
         return flat[:size].reshape(self.shape)
 
 
@@ -173,6 +237,37 @@ def _check_same_shape(arrays: Sequence[np.ndarray]) -> tuple[int, ...]:
         if np.asarray(a).shape != shape:
             raise ValueError("all device buffers must have the same shape")
     return shape
+
+
+def _as_device_block(
+    arrays,
+) -> tuple[np.ndarray | None, Sequence[np.ndarray], int, tuple[int, ...]]:
+    """Normalize any device-input form to ``(block, flats, n, shape)``.
+
+    Accepts a :class:`StackedValue`, a device-major ``(n, *shape)``
+    ndarray, or the legacy sequence of per-device arrays.  ``flats`` are
+    the per-device flat rows (zero-copy views where possible); ``block``
+    is the contiguous ``(n, flat_size)`` backing array when one exists
+    (``None`` for plain lists and for replicated values, whose logical
+    rows are broadcasts of one physical row).
+    """
+    if isinstance(arrays, StackedValue):
+        n = arrays.num_devices
+        shape = tuple(arrays.shape)
+        flat2 = arrays.block.reshape(arrays.block.shape[0], -1)
+        if arrays.replicated:
+            return None, [flat2[0]] * n, n, shape
+        block = flat2 if flat2.flags.c_contiguous else None
+        return block, list(flat2), n, shape
+    if isinstance(arrays, np.ndarray) and arrays.ndim >= 2:
+        n = arrays.shape[0]
+        shape = tuple(arrays.shape[1:])
+        flat2 = arrays.reshape(n, -1)
+        block = flat2 if flat2.flags.c_contiguous else None
+        return block, list(flat2), n, shape
+    shape = _check_same_shape(arrays)
+    flats = [np.asarray(a).reshape(-1) for a in arrays]
+    return None, flats, len(flats), tuple(shape)
 
 
 def _linear_ring_passes(
@@ -223,6 +318,48 @@ def _linear_ring_passes(
     return acc
 
 
+def _linear_ring_passes_batched(
+    acc2: np.ndarray,
+    srcs3: np.ndarray,
+    size: int,
+    chunk: int,
+    bf16_round: Callable[[np.ndarray], np.ndarray] | None = None,
+) -> np.ndarray:
+    """``B`` independent ring reduce-scatters as one batched kernel.
+
+    ``acc2`` is ``(B, padded)`` — row ``b`` is the flat accumulator of ring
+    ``b`` — and ``srcs3`` is ``(B, n, size)``: ``srcs3[b, d]`` is ring
+    ``b``'s device ``d`` (any strided view works, e.g. the transposed Y
+    accumulators feeding the X phase of the 2-D schedule).  Each batch row
+    executes the *identical* operation sequence of
+    :func:`_linear_ring_passes` — the rings are data-independent and every
+    add/round is elementwise, so batching them into 2-D operations is
+    bit-exact — but a grid phase costs ``O(ring_steps)`` numpy calls
+    instead of ``O(B * ring_steps)``, which is what makes 64x64-grid
+    (4096-device) collectives executable.
+
+    Padding columns (``>= size``) are never written and must be pre-zeroed.
+    """
+    n = srcs3.shape[1]
+    for d in range(n):
+        lo = d * chunk
+        hi = min(lo + chunk, size)
+        if hi > lo:
+            acc2[:, lo:hi] = srcs3[:, d, lo:hi]
+        end = min(lo, size)
+        if end > 0:
+            np.add(srcs3[:, d, :end], acc2[:, :end], out=acc2[:, :end])
+            if bf16_round is not None:
+                bf16_round(acc2[:, :end])
+    for d in range(n - 1):
+        start = min((d + 1) * chunk, size)
+        if start < size:
+            np.add(srcs3[:, d, start:size], acc2[:, start:size], out=acc2[:, start:size])
+            if bf16_round is not None:
+                bf16_round(acc2[:, start:size])
+    return acc2
+
+
 def _round_checked(seg: np.ndarray) -> np.ndarray:
     return round_to_bfloat16(seg, out=seg)
 
@@ -240,7 +377,7 @@ def _bf16_round_for(staged: np.ndarray) -> Callable[[np.ndarray], np.ndarray]:
 
 
 def _quantized_sources(
-    flats, dtype: np.dtype, policy: str
+    flats, dtype: np.dtype, policy: str, block: np.ndarray | None = None
 ) -> tuple[Sequence[np.ndarray] | np.ndarray, Callable | None]:
     """Per-device flat buffers in the policy's wire format.
 
@@ -251,15 +388,29 @@ def _quantized_sources(
     while the row is still cache-hot, which selects the per-hop rounding
     variant (see :func:`_bf16_round_for`); ``bf16_round`` is ``None`` for
     the other policies.
+
+    When ``block`` is the contiguous ``(n, size)`` backing array of
+    ``flats`` (the device-major fast path), staging and rounding run as
+    single whole-block operations instead of per-row loops — elementwise
+    identical, but ``O(1)`` dispatches for a 4096-row stack.
     """
     if policy != "bf16":
         if all(f.dtype == dtype for f in flats):
             return flats, None
         staged = _scratch((len(flats), flats[0].size), dtype)
-        for d, f in enumerate(flats):
-            staged[d] = f
+        if block is not None:
+            staged[...] = block
+        else:
+            for d, f in enumerate(flats):
+                staged[d] = f
         return staged, None
     staged = _scratch((len(flats), flats[0].size), dtype)
+    if block is not None:
+        round_to_bfloat16(block, out=staged)
+        finite = bool(
+            np.isfinite(staged, out=_scratch(staged.shape, np.dtype(np.bool_))).all()
+        )
+        return staged, (_round_inplace_nonan if finite else _round_checked)
     row_ok = _scratch((flats[0].size,), np.dtype(np.bool_))
     finite = True
     for d, f in enumerate(flats):
@@ -270,41 +421,44 @@ def _quantized_sources(
 
 
 def _ring_reduce_scatter_impl(
-    arrays: Sequence[np.ndarray], dtype_policy: str
+    arrays, dtype_policy: str
 ) -> tuple[np.ndarray, tuple[int, ...], int]:
-    """Shared core: returns ``(shards (n, chunk), shape, padded)``."""
+    """Shared core: returns ``(shards (n, chunk), shape, padded)``.
+
+    ``arrays`` may be a legacy per-device sequence, a device-major
+    ``(n, *shape)`` ndarray, or a :class:`StackedValue` — the contiguous
+    block forms take the whole-stack quantization fast path.
+    """
     dtype = _dtype_for(dtype_policy)
-    n = len(arrays)
-    shape = _check_same_shape(arrays)
+    block, flats, n, shape = _as_device_block(arrays)
     size = int(np.prod(shape)) if shape else 1
     padded, chunk = padded_chunk_layout(n, size)
-    flats = [np.asarray(a).reshape(-1) for a in arrays]
-    srcs, bf16_round = _quantized_sources(flats, dtype, dtype_policy)
+    srcs, bf16_round = _quantized_sources(flats, dtype, dtype_policy, block)
     acc = np.empty(padded, dtype=dtype)
     acc[size:] = 0
     _linear_ring_passes(acc, srcs, size, chunk, bf16_round)
     return acc.reshape(n, chunk), shape, padded
 
 
-def ring_reduce_scatter(
-    arrays: Sequence[np.ndarray], dtype_policy: str = "f32"
-) -> ShardedValue:
+def ring_reduce_scatter(arrays, dtype_policy: str = "f32") -> ShardedValue:
     """Reduce-scatter over ``n`` device buffers via the ring algorithm.
 
-    Returns a :class:`ShardedValue` where device ``d`` owns the fully
-    reduced chunk ``d``.  The accumulation order is the ring order, so
-    float32/bf16 results carry the rounding pattern of real hardware rings.
+    ``arrays`` may be a per-device sequence, a device-major ``(n, *shape)``
+    block, or a :class:`StackedValue`.  Returns a :class:`ShardedValue`
+    where device ``d`` owns the fully reduced chunk ``d``.  The
+    accumulation order is the ring order, so float32/bf16 results carry
+    the rounding pattern of real hardware rings.
     """
     t0 = _perf()
     with _telemetry.tracer.span("ring_reduce_scatter", category="comm"):
         shards, shape, padded = _ring_reduce_scatter_impl(arrays, dtype_policy)
+    n = shards.shape[0]
     if _telemetry.enabled:
-        n = len(arrays)
         _record_collective(
             "reduce_scatter", n, padded // n,
             _dtype_for(dtype_policy).itemsize, dtype_policy, _perf() - t0,
         )
-    return ShardedValue(list(shards), shape, padded)
+    return ShardedValue(list(shards), shape, padded, block=shards)
 
 
 def ring_all_gather(value: ShardedValue) -> list[np.ndarray]:
@@ -313,7 +467,8 @@ def ring_all_gather(value: ShardedValue) -> list[np.ndarray]:
     The ring motion moves chunks without arithmetic, so the vectorized
     fast path assembles the full buffer once and materializes one
     independent copy per device — bit-identical to (and assertion-free,
-    unlike) the step-by-step :func:`_reference_ring_all_gather`.
+    unlike) the step-by-step :func:`_reference_ring_all_gather`.  For the
+    lazy zero-materialization variant see :func:`ring_all_gather_stacked`.
     """
     n = value.num_devices
     if n == 1:
@@ -321,7 +476,10 @@ def ring_all_gather(value: ShardedValue) -> list[np.ndarray]:
     t0 = _perf()
     with _telemetry.tracer.span("ring_all_gather", category="comm"):
         size = int(np.prod(value.shape)) if value.shape else 1
-        full = np.concatenate(value.shards)[:size]
+        if value.block is not None:
+            full = value.block.reshape(-1)[:size]
+        else:
+            full = np.concatenate(value.shards)[:size]
         out = np.empty((n, size), dtype=full.dtype)
         out[:] = full
     if _telemetry.enabled:
@@ -337,14 +495,44 @@ def ring_all_gather(value: ShardedValue) -> list[np.ndarray]:
     return [out[d].reshape(value.shape) for d in range(n)]
 
 
-def ring_all_reduce(
-    arrays: Sequence[np.ndarray], dtype_policy: str = "f32"
-) -> list[np.ndarray]:
+def ring_all_gather_stacked(value: ShardedValue) -> StackedValue:
+    """All-gather as a lazily replicated :class:`StackedValue`.
+
+    Bit-identical data motion to :func:`ring_all_gather`, but the result
+    is *one* physical buffer viewed by every device instead of ``n``
+    materialized copies — the dominant cost of the per-device gather at
+    large ``n`` (a 256-device gather of a 64 Ki-element buffer spends
+    ~85 % of its time on the copies).  Callers that need per-device
+    ownership materialize explicitly (``.materialized()``).
+    """
+    n = value.num_devices
+    size = int(np.prod(value.shape)) if value.shape else 1
+    t0 = _perf()
+    with _telemetry.tracer.span("ring_all_gather", category="comm"):
+        if value.block is not None:
+            full = value.block.reshape(-1)[:size]
+        else:
+            full = np.concatenate(value.shards)[:size]
+        result = StackedValue.replicate(full.reshape(value.shape), n)
+    if _telemetry.enabled and n > 1:
+        policy = {"float64": "f64", "float32": "f32"}.get(
+            full.dtype.name, full.dtype.name
+        )
+        _record_collective(
+            "all_gather", n, value.padded_size // n, full.dtype.itemsize,
+            policy, _perf() - t0,
+        )
+    return result
+
+
+def ring_all_reduce(arrays, dtype_policy: str = "f32") -> list[np.ndarray]:
     """Ring all-reduce = reduce-scatter + all-gather.
 
     The reduce-scatter shards land as rows of one contiguous block in chunk
     order, so the gather phase reads the reduced buffer straight off the
-    block — no per-shard concatenation.
+    block — no per-shard concatenation.  ``arrays`` may be a per-device
+    sequence, a device-major block, or a :class:`StackedValue`; for the
+    zero-materialization result see :func:`ring_all_reduce_stacked`.
     """
     t0 = _perf()
     with _telemetry.tracer.span("ring_all_reduce", category="comm"):
@@ -364,6 +552,32 @@ def ring_all_reduce(
     return [out[d].reshape(shape) for d in range(n)]
 
 
+def ring_all_reduce_stacked(arrays, dtype_policy: str = "f32") -> StackedValue:
+    """Device-major ring all-reduce returning a replicated result.
+
+    The reduce phase is the exact :func:`_linear_ring_passes` sequence of
+    the list API (bit-identical under every dtype policy); the gather
+    phase returns the reduced buffer as one replicated
+    :class:`StackedValue` instead of ``n`` per-device copies.  This is the
+    hot path the trainers use: stacked gradients in, one shared reduced
+    buffer out.
+    """
+    t0 = _perf()
+    with _telemetry.tracer.span("ring_all_reduce", category="comm"):
+        shards, shape, _ = _ring_reduce_scatter_impl(arrays, dtype_policy)
+        n = shards.shape[0]
+        size = int(np.prod(shape)) if shape else 1
+        full = shards.reshape(-1)[:size]
+        result = StackedValue.replicate(full.reshape(shape), n)
+    if _telemetry.enabled:
+        _record_collective(
+            "all_reduce", n, 2 * shards.shape[1],
+            _dtype_for(dtype_policy).itemsize, dtype_policy, _perf() - t0,
+            steps=2 * (n - 1),
+        )
+    return result
+
+
 # --- 2-D hierarchical collective (Section 3.3) -----------------------------
 
 
@@ -380,6 +594,95 @@ def _grid_shape(grid: Sequence[Sequence[np.ndarray]]) -> tuple[int, int]:
     return x, y
 
 
+def _quantized_grid_block(
+    flats, dtype: np.dtype, policy: str, block: np.ndarray | None = None
+) -> tuple[np.ndarray, Callable | None]:
+    """Like :func:`_quantized_sources` but always yields a real 2-D block.
+
+    The batched grid kernels index sources as one ``(n, size)`` array, so
+    list inputs that are already in the wire dtype (which the plain ring
+    keeps as zero-copy views) are staged through the scratch pool here —
+    one bit-preserving copy that buys ``O(ring_steps)`` instead of
+    ``O(n * ring_steps)`` kernel dispatches.
+    """
+    srcs, bf16_round = _quantized_sources(flats, dtype, policy, block)
+    if isinstance(srcs, np.ndarray):
+        return srcs, bf16_round
+    if block is not None and block.dtype == dtype:
+        return block, bf16_round
+    staged = _scratch((len(flats), flats[0].size), dtype)
+    for d, f in enumerate(srcs):
+        staged[d] = f
+    return staged, bf16_round
+
+
+def _reduce_scatter_grid_core(
+    flats,
+    block: np.ndarray | None,
+    x_size: int,
+    y_size: int,
+    shape: tuple[int, ...],
+    dtype_policy: str,
+) -> tuple[np.ndarray, int, int, int]:
+    """Batched phases 1+2 of the 2-D schedule.
+
+    Sources are in x-major device order (``flats[x * y_size + y]`` is mesh
+    coordinate ``(x, y)``).  Returns ``(shards3, size, y_chunk, x_chunk)``
+    where ``shards3`` is the freshly allocated ``(y_size, x_size,
+    x_chunk)`` shard block: ``shards3[y, x]`` is device (x, y)'s fully
+    reduced shard (X-chunk ``x`` of Y-chunk ``y``).
+
+    Both ring phases run batched: the ``x_size`` independent column rings
+    execute as *one* stacked kernel call
+    (:func:`_linear_ring_passes_batched`), then the ``y_size`` row rings
+    as another, reading the Y accumulators through a transposed zero-copy
+    view.  Each batch row replays the exact scalar-kernel op sequence, so
+    results stay bit-identical to the per-ring references.
+    """
+    dtype = _dtype_for(dtype_policy)
+    size = int(np.prod(shape)) if shape else 1
+    srcs2, bf16_round = _quantized_grid_block(flats, dtype, dtype_policy, block)
+    srcs3 = srcs2.reshape(x_size, y_size, size)
+    # Y phase: one ring per mesh column, all columns batched.
+    padded_y, y_chunk = padded_chunk_layout(y_size, size)
+    t0 = _perf()
+    with _telemetry.tracer.span("reduce_scatter_y", category="comm"):
+        acc_y = np.empty((x_size, padded_y), dtype=dtype)
+        acc_y[:, size:] = 0
+        _linear_ring_passes_batched(acc_y, srcs3, size, y_chunk, bf16_round)
+    if _telemetry.enabled:
+        # x_size concurrent column rings of y_size members each.
+        _record_collective(
+            "reduce_scatter", y_size, x_size * y_chunk, dtype.itemsize,
+            dtype_policy, _perf() - t0, axis="y",
+        )
+    # X phase: for each Y-shard index, a ring across columns.  Sources are
+    # the Y accumulators (already quantized, so no re-rounding for bf16):
+    # device x of ring y contributes Y-chunk y of mesh column x — exactly
+    # the transpose of the Y accumulator block, taken as a strided view.
+    # The NaN-free fast path must be re-decided here: finite inputs can
+    # saturate to +inf in one column and -inf in another, which meet as
+    # NaN when reducing across X.
+    if dtype_policy == "bf16":
+        bf16_round = _bf16_round_for(acc_y)
+    acc_y3 = acc_y.reshape(x_size, y_size, y_chunk)
+    padded_x, x_chunk = padded_chunk_layout(x_size, y_chunk)
+    t0 = _perf()
+    with _telemetry.tracer.span("reduce_scatter_x", category="comm"):
+        x_shards = np.empty((y_size, padded_x), dtype=dtype)
+        x_shards[:, y_chunk:] = 0
+        _linear_ring_passes_batched(
+            x_shards, acc_y3.transpose(1, 0, 2), y_chunk, x_chunk, bf16_round
+        )
+    if _telemetry.enabled:
+        # y_size concurrent row rings over the already-1/y payload.
+        _record_collective(
+            "reduce_scatter", x_size, y_size * x_chunk, dtype.itemsize,
+            dtype_policy, _perf() - t0, axis="x",
+        )
+    return x_shards.reshape(y_size, x_size, x_chunk), size, y_chunk, x_chunk
+
+
 def reduce_scatter_grid(
     grid: Sequence[Sequence[np.ndarray]], dtype_policy: str = "f32"
 ) -> list[list[ShardedValue]]:
@@ -393,62 +696,13 @@ def reduce_scatter_grid(
     Both ring phases run batched: the ``x_size`` independent column rings
     (and then the ``y_size`` row rings) execute as one stacked kernel call.
     """
-    dtype = _dtype_for(dtype_policy)
     x_size, y_size = _grid_shape(grid)
     arrays = [np.asarray(g) for col in grid for g in col]
     shape = _check_same_shape(arrays)
-    size = int(np.prod(shape)) if shape else 1
     flats = [a.reshape(-1) for a in arrays]
-    srcs, bf16_round = _quantized_sources(flats, dtype, dtype_policy)
-    # Y phase: one ring per mesh column.
-    padded_y, y_chunk = padded_chunk_layout(y_size, size)
-    t0 = _perf()
-    with _telemetry.tracer.span("reduce_scatter_y", category="comm"):
-        acc_y = np.empty((x_size, padded_y), dtype=dtype)
-        acc_y[:, size:] = 0
-        for x in range(x_size):
-            _linear_ring_passes(
-                acc_y[x],
-                [srcs[x * y_size + y] for y in range(y_size)],
-                size,
-                y_chunk,
-                bf16_round,
-            )
-    if _telemetry.enabled:
-        # x_size concurrent column rings of y_size members each.
-        _record_collective(
-            "reduce_scatter", y_size, x_size * y_chunk, dtype.itemsize,
-            dtype_policy, _perf() - t0, axis="y",
-        )
-    # X phase: for each Y-shard index, a ring across columns.  Sources are
-    # the Y accumulators (already quantized, so no re-rounding for bf16):
-    # device x of ring y contributes Y-chunk y of mesh column x.  The
-    # NaN-free fast path must be re-decided here: finite inputs can
-    # saturate to +inf in one column and -inf in another, which meet as
-    # NaN when reducing across X.
-    if dtype_policy == "bf16":
-        bf16_round = _bf16_round_for(acc_y)
-    acc_y3 = acc_y.reshape(x_size, y_size, y_chunk)
-    padded_x, x_chunk = padded_chunk_layout(x_size, y_chunk)
-    t0 = _perf()
-    with _telemetry.tracer.span("reduce_scatter_x", category="comm"):
-        x_shards = np.empty((y_size, padded_x), dtype=dtype)
-        x_shards[:, y_chunk:] = 0
-        for y in range(y_size):
-            _linear_ring_passes(
-                x_shards[y],
-                [acc_y3[x, y] for x in range(x_size)],
-                y_chunk,
-                x_chunk,
-                bf16_round,
-            )
-    if _telemetry.enabled:
-        # y_size concurrent row rings over the already-1/y payload.
-        _record_collective(
-            "reduce_scatter", x_size, y_size * x_chunk, dtype.itemsize,
-            dtype_policy, _perf() - t0, axis="x",
-        )
-    shards3 = x_shards.reshape(y_size, x_size, x_chunk)
+    shards3, _, _, _ = _reduce_scatter_grid_core(
+        flats, None, x_size, y_size, tuple(shape), dtype_policy
+    )
     out: list[list[ShardedValue]] = [[None] * y_size for _ in range(x_size)]  # type: ignore[list-item]
     for x in range(x_size):
         for y in range(y_size):
@@ -546,6 +800,75 @@ def two_phase_all_reduce(
             "collective_launches", op="two_phase_all_reduce", axis="xy"
         ).inc()
     return out
+
+
+def two_phase_all_reduce_stacked(
+    arrays,
+    grid_shape: tuple[int, int],
+    dtype_policy: str = "f32",
+    shard_transform: Callable[[np.ndarray], np.ndarray] | None = None,
+) -> StackedValue:
+    """Device-major 2-D hierarchical all-reduce with a replicated result.
+
+    ``arrays`` is a device-major ``(x * y, *shape)`` block (or
+    :class:`StackedValue`, or a flat per-device sequence) in x-major order;
+    ``grid_shape`` is the mesh extent.  Both ring phases run as batched
+    stacked kernels, ``shard_transform`` (elementwise/shape-preserving,
+    exactly as for :func:`two_phase_all_reduce`) is applied *once* to the
+    whole ``(y, x, x_chunk)`` shard block between the phases — elementwise
+    transforms make that bit-identical to the per-shard loop — and the
+    gather phase returns one replicated :class:`StackedValue` instead of
+    ``x * y`` materialized copies.
+    """
+    x_size, y_size = grid_shape
+    if x_size < 1 or y_size < 1:
+        raise ValueError("grid_shape dims must be >= 1")
+    block, flats, n, shape = _as_device_block(arrays)
+    if n != x_size * y_size:
+        raise ValueError(
+            f"{n} device buffers do not fill a {x_size}x{y_size} grid"
+        )
+    t0 = _perf()
+    with _telemetry.tracer.span("two_phase_all_reduce", category="comm"):
+        shards3, size, y_chunk, x_chunk = _reduce_scatter_grid_core(
+            flats, block, x_size, y_size, shape, dtype_policy
+        )
+        if shard_transform is not None:
+            with _telemetry.tracer.span("shard_transform", category="update"):
+                transformed = np.asarray(shard_transform(shards3))
+                if transformed.shape != shards3.shape:
+                    raise ValueError("shard_transform must preserve shape")
+                shards3 = transformed
+        with _telemetry.tracer.span("all_gather_grid", category="comm"):
+            padded_x = x_size * x_chunk
+            full = (
+                shards3.reshape(y_size, padded_x)[:, :y_chunk].reshape(-1)[:size]
+            )
+            if np.shares_memory(full, shards3):
+                # Zero-copy assembly aliases the shard block (or whatever a
+                # user transform returned); the replicated result must own
+                # its memory.
+                full = full.copy()
+            result = StackedValue.replicate(full.reshape(shape), n)
+    if _telemetry.enabled:
+        dt = _perf() - t0
+        m = _telemetry.metrics
+        itemsize = shards3.dtype.itemsize
+        m.counter(
+            "collective_bytes", op="all_gather", axis="x", policy=dtype_policy
+        ).inc(x_size * (x_size - 1) * y_size * x_chunk * itemsize)
+        m.counter(
+            "collective_bytes", op="all_gather", axis="y", policy=dtype_policy
+        ).inc(y_size * (y_size - 1) * x_size * y_chunk * itemsize)
+        m.counter("collective_ring_steps", op="all_gather", axis="xy").inc(
+            (x_size - 1) + (y_size - 1)
+        )
+        m.counter("collective_launches", op="all_gather", axis="xy").inc()
+        m.histogram("collective_seconds", op="all_gather", axis="xy").observe(dt)
+        m.counter(
+            "collective_launches", op="two_phase_all_reduce", axis="xy"
+        ).inc()
+    return result
 
 
 # --- reference implementations (retained for bit-identity cross-checks) ----

@@ -296,7 +296,9 @@ class TestInstrumentedTrainers:
         # appear; no per-call metric was recorded.
         families = {
             name for name in telemetry.metrics.snapshot()
-            if not name.startswith("padding_layout_cache")
+            if not name.startswith(
+                ("padding_layout_cache", "scratch_pool_cache")
+            )
         }
         assert families == set()
         assert telemetry.tracer.trace.events == []
