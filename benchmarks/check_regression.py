@@ -3,7 +3,8 @@
 Usage::
 
     PYTHONPATH=src python benchmarks/check_regression.py \
-        [--baseline BENCH_collectives.json] [--threshold 3.0]
+        [--baseline BENCH_collectives.json] [--threshold 3.0] \
+        [--drift-tolerance 1e-6] [--drift-only]
 
 Re-runs the committed benchmark cases with pytest-benchmark enabled and
 compares each fresh median against the median recorded in
@@ -17,6 +18,14 @@ Only cases at <= 256 devices run here: the 1024/4096-device cases need
 GiB-scale fixtures and are recorded by ``run_benchmarks.py`` on the
 benchmark machine instead.  Reference twins (``*_reference``) are also
 skipped — they pin the before/after table, not the product kernels.
+
+The script also runs the **model-vs-measured drift gate**
+(:mod:`repro.telemetry.drift`): the discrete-event collective schedules
+and the analytic alpha-beta cost model must agree per phase within
+``--drift-tolerance`` (default 1e-6 relative — they agree to ~1e-15
+today, so any real divergence trips instantly).  Unlike the wall-clock
+gate this one is machine-independent.  ``--drift-only`` skips the
+benchmarks and runs just the drift check (the fast CI step).
 """
 
 from __future__ import annotations
@@ -72,6 +81,26 @@ def run_cases(names: list[str], json_path: Path) -> None:
         raise SystemExit(result.returncode)
 
 
+def check_model_drift(tolerance: float) -> bool:
+    """Run the model-vs-measured drift gate; True when within tolerance."""
+    sys.path.insert(0, str(REPO / "src"))
+    from repro.telemetry import drift
+
+    entries = drift.drift_report()
+    print("model-vs-measured drift gate:")
+    print(drift.format_report(entries, tolerance=tolerance))
+    ok, bad = drift.check_drift(entries, tolerance=tolerance)
+    if not ok:
+        print("\nmodel drift gate FAILED:", file=sys.stderr)
+        for e in bad:
+            print(
+                f"  {e.case}/{e.phase}: measured {e.measured_s:.6e}s vs "
+                f"predicted {e.predicted_s:.6e}s ({e.drift_rel:.2e} rel)",
+                file=sys.stderr,
+            )
+    return ok
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -86,7 +115,23 @@ def main() -> None:
         default=3.0,
         help="fail when fresh median exceeds committed median by this factor",
     )
+    parser.add_argument(
+        "--drift-tolerance",
+        type=float,
+        default=1e-6,
+        help="max relative drift between the DES schedules and the cost model",
+    )
+    parser.add_argument(
+        "--drift-only",
+        action="store_true",
+        help="run only the model-vs-measured drift gate (no benchmarks)",
+    )
     args = parser.parse_args()
+
+    if args.drift_only:
+        if not check_model_drift(args.drift_tolerance):
+            raise SystemExit(1)
+        return
 
     gated = committed_cases(args.baseline)
     if not gated:
@@ -122,7 +167,10 @@ def main() -> None:
         for line in failures:
             print(f"  {line}", file=sys.stderr)
         raise SystemExit(1)
-    print(f"\nall {len(gated)} gated cases within {args.threshold}x")
+    print(f"\nall {len(gated)} gated cases within {args.threshold}x\n")
+
+    if not check_model_drift(args.drift_tolerance):
+        raise SystemExit(1)
 
 
 if __name__ == "__main__":

@@ -116,6 +116,14 @@ class Barrier:
                 m.counter("controlplane_barrier_stragglers").inc(
                     len(stragglers)
                 )
+        _telemetry.flight_recorder.record(
+            "barrier",
+            "timeout" if timed_out else "release",
+            released_at=self.sim.now,
+            arrived=len(arrived),
+            participants=len(self.participants),
+            stragglers=list(stragglers),
+        )
         if timed_out:
             logger.warning(
                 "barrier timed out at t=%.3f: %d/%d arrived, stragglers %s",

@@ -118,11 +118,17 @@ class ControlTopology(abc.ABC):
     def check_host_failure(self, host: int) -> None:
         """Raise :class:`JobKilledError` when losing ``host`` is fatal."""
         if self.is_fatal_host_failure(host):
-            raise JobKilledError(
+            err = JobKilledError(
                 host,
                 f"{type(self).__name__}: host {host} is the coordinator; "
                 "its death kills the job",
             )
+            from repro.telemetry import on_terminal_failure
+
+            on_terminal_failure(
+                err, origin="controlplane.host_failure", host=host
+            )
+            raise err
 
 
 class SingleClientCoordinator(ControlTopology):

@@ -175,6 +175,12 @@ class ConsistencyGuard:
                 "desync at step %d: %s diverged (%s recovery)",
                 step, desynced, "rewind" if ambiguous else "resync",
             )
+            _telemetry.flight_recorder.record(
+                "guard", "desync",
+                step=step,
+                devices=[list(d) for d in desynced],
+                ambiguous=ambiguous,
+            )
         return desynced, ambiguous
 
     # --- non-finite tripwires -------------------------------------------------
@@ -202,5 +208,9 @@ class ConsistencyGuard:
                 kind, f" at step {step}" if step is not None else "", bad,
             )
             if self.on_nonfinite == "raise":
-                raise SilentCorruptionError(kind, bad, step)
+                err = SilentCorruptionError(kind, bad, step)
+                _telemetry.on_terminal_failure(
+                    err, origin="guard.nonfinite", tensor_kind=kind
+                )
+                raise err
         return bad

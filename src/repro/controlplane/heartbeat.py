@@ -243,6 +243,13 @@ class HeartbeatDetector:
                         "controlplane_detection_latency_seconds"
                     ).observe(d.latency)
         for d in out:
+            _telemetry.flight_recorder.record(
+                "heartbeat",
+                "false_positive" if d.false_positive else "detection",
+                host=d.host, by=d.by,
+                fault_time=d.fault_time, detect_time=d.detect_time,
+            )
+        for d in out:
             logger.info(
                 "host %d declared dead at t=%.3f by host %d (fault at %.3f, "
                 "latency %.3f%s)",

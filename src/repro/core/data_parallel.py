@@ -353,6 +353,7 @@ class DataParallelTrainer:
                 m.counter(
                     "step_phase_seconds", trainer=trainer, phase=phase
                 ).inc(phase_seconds)
+            _telemetry.flight_recorder.on_step(result, trainer=trainer)
 
     def train(self, batches, steps: int) -> TrainLog:
         losses = []

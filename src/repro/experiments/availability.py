@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import telemetry as _telemetry
 from repro.controlplane import (
     HeartbeatDetector,
     HostGroup,
@@ -69,6 +70,20 @@ def _mesh_for(chips: int) -> tuple[int, int]:
     return (side, side)
 
 
+def _postmortem_cell(dumps_before: int) -> str:
+    """Time-to-postmortem for one run, or ``-`` when nothing dumped.
+
+    The process flight recorder is attached to every chaos run by default;
+    a run that survives its fault plan produces no bundle, while a
+    consistency rewind or fleet extermination dumps one and records the
+    wall seconds the dump took — the operator's time-to-first-evidence.
+    """
+    rec = _telemetry.flight_recorder
+    if rec.dump_count == dumps_before:
+        return "-"
+    return f"{rec.last_postmortem_seconds * 1e3:.1f}"
+
+
 def sweep(
     chip_counts: tuple[int, ...] = (256, 1024, 4096),
     failure_rates: tuple[float, ...] = (0.0, 1e-6, 1e-5, 1e-4),
@@ -79,7 +94,7 @@ def sweep(
         "Availability: goodput vs. failure rate and pod size "
         f"({_TARGET_STEPS} steps, checkpoint every {_CHECKPOINT_INTERVAL})",
         ["Chips", "Chip fail rate", "Failures", "Restarts", "Lost steps",
-         "MTTR (s)", "Goodput"],
+         "MTTR (s)", "Goodput", "Postmortem (ms)"],
     )
     for chips in chip_counts:
         mesh_shape = _mesh_for(chips)
@@ -100,6 +115,7 @@ def sweep(
                 expected_chip_failures=expected,
                 step_time_s=_BASE_STEP_SECONDS,
             )
+            dumps_before = _telemetry.flight_recorder.dump_count
             report = run_chaos(plan, config, state_bytes=_STATE_BYTES)
             table.add_row(
                 chips,
@@ -109,6 +125,7 @@ def sweep(
                 report.lost_steps,
                 f"{report.mttr_seconds:.1f}",
                 f"{report.goodput:.3f}",
+                _postmortem_cell(dumps_before),
             )
     return table
 
@@ -192,6 +209,69 @@ def _replays_identically(report, plan, config, factory, batch) -> bool:
         np.array_equal(report.final_params[name], reference_params[name])
         for name in reference_params
     )
+
+
+def postmortem_demo(seed: int = 7) -> Table:
+    """Terminal failure with the flight recorder attached (always-on).
+
+    A seed-deterministic fault plan exterminates the whole 2x2 fleet
+    mid-run; the chaos harness raises
+    :class:`~repro.resilience.faults.DeviceLostError` and the process
+    flight recorder dumps a postmortem bundle on the way out.  The table
+    shows what an operator gets and how fast: the bundle's record count,
+    how many of those are spans from the preceding steps, and the wall
+    time from the fatal raise to a complete bundle.
+    """
+    from repro.resilience.faults import ChipFailure, DeviceLostError
+
+    trainer_config = TrainerConfig(
+        model=MLP([8, 16, 4]),
+        optimizer=Adam(learning_rate=0.01),
+        strategy="wus",
+        seed=seed,
+    )
+
+    def batch(step: int):
+        rng = np.random.default_rng(20_000 + step)
+        return rng.standard_normal((12, 8)), rng.integers(0, 4, size=12)
+
+    config = ChaosConfig(
+        mesh_shape=(2, 2), target_steps=24, checkpoint_interval=6,
+        base_step_seconds=1.0, detection_timeout_s=0.5,
+    )
+    kill_step = 12
+    plan = FaultPlan(
+        seed=seed,
+        chip_failures=tuple(
+            ChipFailure(device=(x, y), at_step=kill_step)
+            for x in range(2) for y in range(2)
+        ),
+    )
+    table = Table(
+        "Postmortem: flight-recorder bundle on fleet extermination "
+        f"(2x2 mesh, all chips die at step {kill_step})",
+        ["Outcome", "Steps before death", "Bundle records", "Spans",
+         "Fault events", "Time-to-postmortem (ms)"],
+    )
+    rec = _telemetry.flight_recorder
+    try:
+        run_chaos(
+            plan, config, trainer_config=trainer_config, batch_fn=batch
+        )
+        outcome = "survived (unexpected)"
+    except DeviceLostError:
+        outcome = "DeviceLostError"
+    bundle = rec.last_postmortem or {"records": []}
+    records = bundle.get("records", [])
+    table.add_row(
+        outcome,
+        kill_step,
+        len(records),
+        sum(1 for r in records if r["kind"] == "span"),
+        sum(1 for r in records if r["kind"] == "fault"),
+        f"{rec.last_postmortem_seconds * 1e3:.1f}",
+    )
+    return table
 
 
 def _fault_plan_for(chips: int, seed: int, rate: float = 1e-5) -> FaultPlan:
@@ -362,6 +442,7 @@ def run() -> list[Table]:
     return [
         sweep(),
         chaos_demo(),
+        postmortem_demo(),
         heartbeat_sweep(),
         checkpoint_sweep(),
         controlplane_scenario(),

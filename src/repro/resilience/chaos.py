@@ -303,11 +303,20 @@ def run_chaos(
                     alive.remove(device)
                     overlays.pop(device, None)
             report.preemptions += len(live_signals)
+            _telemetry.flight_recorder.record(
+                "chaos", "preemption",
+                step=step,
+                hosts=[sig.host for sig, _ in live_signals],
+                saved_in_grace=saved_in_grace,
+                survivors=len(alive),
+            )
             if not alive:
-                raise DeviceLostError(
+                err = DeviceLostError(
                     [c for _, cs in live_signals for c in cs],
                     "preemption took every chip; nothing left to restore onto",
                 )
+                _telemetry.on_terminal_failure(err, origin="chaos.preemption", step=step)
+                raise err
             # Announced death: no detection latency, only the restore move.
             restart_s = ckpt_bytes / config.restore_bandwidth_bytes_per_s
             lost = step - ckpt_step
@@ -356,11 +365,21 @@ def run_chaos(
                 _telemetry.metrics.counter("resilience_device_failures").inc(
                     len(hits)
                 )
+            _telemetry.flight_recorder.record(
+                "chaos", "chip_failure",
+                step=step,
+                devices=[list(d) for d in hits],
+                survivors=len(alive),
+            )
             if not alive:
-                raise DeviceLostError(
+                err = DeviceLostError(
                     hits,
                     "fault plan killed every chip; nothing left to restore onto",
                 )
+                _telemetry.on_terminal_failure(
+                    err, origin="chaos.chip_failure", step=step
+                )
+                raise err
             # The step the failure interrupted is wasted, along with every
             # step completed since the last checkpoint (they get redone).
             report.total_seconds += (
@@ -390,6 +409,11 @@ def run_chaos(
                 m.histogram("controlplane_detection_latency_seconds").observe(
                     latency
                 )
+            _telemetry.flight_recorder.record(
+                "chaos", "restart",
+                step=step, rewound_to=ckpt_step, lost_steps=lost,
+                detection_s=latency, restart_s=restart_s,
+            )
             logger.warning(
                 "chip failure at step %d (%s): detected after %.3fs, "
                 "rewinding to step %d on %d survivors (%d steps lost, "
@@ -432,6 +456,13 @@ def run_chaos(
             report.measured_bytes_moved += getattr(res, "bytes_moved", 0.0)
         report.total_seconds += config.base_step_seconds * slowdown
         report.steps_executed += 1
+        if trainer is None:
+            # Accounting mode has no trainer StepResult to mirror; keep the
+            # flight timeline alive with the modeled step boundary instead.
+            _telemetry.flight_recorder.record(
+                "step", "modeled_step", step_index=step, slowdown=slowdown
+            )
+            _telemetry.flight_recorder.record_counter_deltas()
         step += 1
 
         # --- cross-replica hash check ---------------------------------------
@@ -509,6 +540,15 @@ def run_chaos(
                     "(%d steps lost)",
                     step, ckpt_step, lost,
                 )
+                # The fleet survives, but it just rewound on corrupted state
+                # with no trustworthy donor — exactly the moment an operator
+                # wants the preceding timeline, so dump a postmortem bundle.
+                _telemetry.flight_recorder.record(
+                    "chaos", "ambiguous_rewind",
+                    step=step, rewound_to=ckpt_step, lost_steps=lost,
+                )
+                if _telemetry.enabled:
+                    _telemetry.flight_recorder.dump(reason="consistency_rewind")
                 if trainer is not None:
                     trainer.restore_checkpoint(ckpt)
                 step = ckpt_step

@@ -99,6 +99,10 @@ class VirtualMesh:
         )
         if _telemetry.enabled:
             _telemetry.metrics.counter("mesh_device_failures").inc()
+        _telemetry.flight_recorder.record(
+            "fault", "mesh_device_failed",
+            device=list(device), alive=self.num_alive,
+        )
 
     def restore_device(self, device: tuple[int, int]) -> None:
         """Bring a device back (elastic re-expansion after repair).
@@ -111,6 +115,10 @@ class VirtualMesh:
         if device not in self._dead:
             return
         self._dead.discard(device)
+        _telemetry.flight_recorder.record(
+            "fault", "mesh_device_restored",
+            device=list(device), alive=self.num_alive,
+        )
         for name in list(self._stacked):
             self._demote(name)
         for per_device in self._buffers.values():
@@ -328,11 +336,13 @@ class VirtualMesh:
         degraded = bool(self._dead)
         if degraded:
             if on_fault == "raise":
-                raise DeviceLostError(
+                err = DeviceLostError(
                     sorted(self._dead),
                     f"all_reduce on mesh with dead device(s) "
                     f"{sorted(self._dead)}; pass on_fault='heal' to degrade",
                 )
+                _telemetry.on_terminal_failure(err, origin="mesh.all_reduce")
+                raise err
             if self.num_alive < 1:
                 raise DeviceLostError(sorted(self._dead), "every mesh device is dead")
         if hierarchical is None:

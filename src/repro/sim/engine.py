@@ -280,6 +280,10 @@ class Simulator:
                 logger.error("%s: %r", where, exc)
                 if hasattr(exc, "add_note"):  # py3.11+
                     exc.add_note(where)
+                # Deferred import: repro.sim must stay importable standalone.
+                from repro.telemetry import on_terminal_failure
+
+                on_terminal_failure(exc, origin="sim.run", sim_time=t)
                 raise exc
         if until is not None and until > self._now:
             self._now = until

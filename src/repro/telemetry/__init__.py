@@ -36,12 +36,14 @@ from contextlib import contextmanager
 
 from repro.telemetry.registry import (
     Counter,
+    DEFAULT_MAX_CHILDREN,
     DEFAULT_TIME_BUCKETS,
     Gauge,
     Histogram,
     MetricsRegistry,
 )
 from repro.telemetry.tracer import MEASURED_SOURCE, Tracer
+from repro.telemetry.flight import FlightRecord, FlightRecorder, on_terminal_failure
 
 logger = logging.getLogger("repro.telemetry")
 
@@ -54,6 +56,14 @@ enabled: bool = os.environ.get("REPRO_TELEMETRY", "1") != "0"
 #: Process-wide registry and tracer; tests may construct private instances.
 metrics = MetricsRegistry()
 tracer = Tracer()
+
+#: Process-wide flight recorder: a bounded ring of the last N spans,
+#: counter deltas, and fault/control-plane events, dumped as a JSON
+#: postmortem bundle when a terminal failure surfaces (see
+#: :mod:`repro.telemetry.flight`).  Always attached; every write is gated
+#: on ``enabled``, so ``REPRO_TELEMETRY=0`` silences it entirely.
+flight_recorder = FlightRecorder()
+tracer.add_sink(flight_recorder.on_trace_event)
 
 
 def enable() -> None:
@@ -83,14 +93,18 @@ def disabled():
 
 
 def reset() -> None:
-    """Clear all recorded metrics and spans (flag state is preserved)."""
+    """Clear all recorded metrics, spans, and flight records (flag kept)."""
     metrics.reset()
     tracer.reset()
+    flight_recorder.clear()
 
 
 __all__ = [
     "Counter",
+    "DEFAULT_MAX_CHILDREN",
     "DEFAULT_TIME_BUCKETS",
+    "FlightRecord",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MEASURED_SOURCE",
@@ -100,7 +114,9 @@ __all__ = [
     "disabled",
     "enable",
     "enabled",
+    "flight_recorder",
     "metrics",
+    "on_terminal_failure",
     "reset",
     "tracer",
 ]

@@ -37,6 +37,18 @@ DEFAULT_TIME_BUCKETS: tuple[float, ...] = (
 
 LabelKey = tuple[tuple[str, str], ...]
 
+#: Default cap on labeled children per metric family.  Per-device labels at
+#: 4096 devices fit exactly; anything past the cap (a label accidentally
+#: carrying a step index, a timestamp, a payload size) collapses into one
+#: shared overflow child instead of growing the registry without bound.
+DEFAULT_MAX_CHILDREN = 4096
+
+#: Label key of the shared overflow child a saturated family falls back to.
+OVERFLOW_KEY: LabelKey = (("overflow", "true"),)
+
+#: Counter family that counts label sets rejected by the cardinality guard.
+OVERFLOW_COUNTER = "telemetry_label_overflow"
+
 
 def _label_key(labels: Mapping[str, object]) -> LabelKey:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
@@ -127,12 +139,22 @@ class MetricsRegistry:
     process; independent registries can be created for tests.  Creation is
     lock-protected; increments rely on the GIL (single mutating bytecode
     ops), which matches the single-threaded functional runtime.
+
+    ``max_children`` is the per-family label-cardinality guard: once a
+    family holds that many labeled children, further *new* label sets are
+    routed to one shared overflow child (labels ``{overflow: true}``) and
+    counted in the ``telemetry_label_overflow`` counter, labeled by the
+    saturated family's name.  Existing children keep working — the guard
+    bounds growth, it never loses an established series.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_children: int = DEFAULT_MAX_CHILDREN) -> None:
+        if max_children < 1:
+            raise ValueError("max_children must be >= 1")
         self._families: dict[str, _Family] = {}
         self._collectors: list[Callable[[MetricsRegistry], None]] = []
         self._lock = threading.Lock()
+        self.max_children = max_children
 
     # --- get-or-create ------------------------------------------------------
 
@@ -158,16 +180,32 @@ class MetricsRegistry:
         key = _label_key(labels)
         child = family.children.get(key)
         if child is None:
+            overflowed = False
             with self._lock:
                 child = family.children.get(key)
                 if child is None:
-                    if kind == "counter":
-                        child = Counter(name, key)
-                    elif kind == "gauge":
-                        child = Gauge(name, key)
-                    else:
-                        child = Histogram(name, key, family.buckets or DEFAULT_TIME_BUCKETS)
-                    family.children[key] = child
+                    if (
+                        key
+                        and key != OVERFLOW_KEY
+                        and len(family.children) >= self.max_children
+                    ):
+                        # Cardinality guard: collapse the new label set into
+                        # the family's shared overflow child.
+                        overflowed = True
+                        key = OVERFLOW_KEY
+                        child = family.children.get(key)
+                    if child is None:
+                        if kind == "counter":
+                            child = Counter(name, key)
+                        elif kind == "gauge":
+                            child = Gauge(name, key)
+                        else:
+                            child = Histogram(name, key, family.buckets or DEFAULT_TIME_BUCKETS)
+                        family.children[key] = child
+            if overflowed and name != OVERFLOW_COUNTER:
+                # Outside the lock (counter() re-enters _child).  The guard
+                # counter's own cardinality is bounded by the family count.
+                self.counter(OVERFLOW_COUNTER, metric=name).inc()
         return child
 
     def counter(self, name: str, **labels: object) -> Counter:

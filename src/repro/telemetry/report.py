@@ -1,24 +1,34 @@
-"""Render telemetry into a step-time breakdown and Chrome-trace JSON.
+"""Render telemetry into reports — the ``repro-telemetry`` console script.
 
-This is the read side of the telemetry subsystem and the body of the
-``repro-telemetry`` console script:
+This is the read side of the telemetry subsystem.  The CLI now has four
+subcommands (a bare invocation still runs ``report``, keeping the PR 1
+command lines working):
 
-* :func:`step_breakdown` — aggregate the measured spans into a per-phase
-  table (total seconds, calls, share of the enclosing step time), the
-  Table 3 / Figure 6/8-style attribution of where a step goes;
-* :func:`chrome_trace` — merged ``chrome://tracing`` JSON: measured spans,
-  optionally a simulated :class:`~repro.sim.trace.Trace` on its own
-  ``pid`` lane, and final counter values as Chrome counter (``ph: "C"``)
-  events;
-* :func:`demo_run` / :func:`main` — drive a real
-  :class:`~repro.core.weight_update_sharding.WeightUpdateShardedTrainer`
-  run plus a fused :class:`~repro.runtime.mesh.VirtualMesh` all-reduce on
-  an ``x*y`` mesh, alongside the discrete-event schedule of the same
-  collective, then print the breakdown and write the merged trace.
+* ``report`` — drive the instrumented demo run and print the per-phase
+  step breakdown plus headline counters (``--json`` for the
+  machine-readable form);
+* ``postmortem`` — run a seed-deterministic chip-death chaos run and
+  write the flight recorder's postmortem bundle, or summarize an
+  existing bundle file;
+* ``critical-path`` — run the overlap engine for a calibrated model and
+  print the critical-path attribution
+  (:mod:`repro.telemetry.critical_path`);
+* ``drift`` — the model-vs-measured drift table
+  (:mod:`repro.telemetry.drift`), exit 1 past ``--tolerance``.
 
-The ``print`` calls in :func:`main` are the CLI's report output and stay
-on stdout deliberately (diagnostics go through the ``repro.telemetry``
-logger).
+Key library entry points: :func:`step_breakdown` /
+:func:`step_breakdown_data` (text and JSON-ready forms of the Table 3 /
+Figure 6/8-style attribution), :func:`chrome_trace` /
+:func:`write_chrome_trace` (merged ``chrome://tracing`` JSON with
+measured and simulated spans on separate ``pid`` lanes plus counter
+events), and :func:`demo_run` (a real
+:class:`~repro.core.weight_update_sharding.WeightUpdateShardedTrainer`
+run plus a fused :class:`~repro.runtime.mesh.VirtualMesh` all-reduce and
+the discrete-event schedule of the same collective).
+
+The ``print`` calls in the command handlers are the CLI's report output
+and stay on stdout deliberately (diagnostics go through the
+``repro.telemetry`` logger).
 """
 
 from __future__ import annotations
@@ -36,14 +46,12 @@ from repro.sim.trace import Trace
 logger = logging.getLogger("repro.telemetry")
 
 
-def step_breakdown(trace: Trace | None = None, registry=None) -> str:
-    """Aggregate spans into an aligned per-phase table.
+def step_breakdown_data(trace: Trace | None = None, registry=None) -> dict:
+    """JSON-ready per-phase aggregation of the measured spans.
 
-    Rows are (category, span name) pairs with total seconds, call count,
-    and percentage of the total ``train_step`` span time (or of the whole
-    trace span when no step spans were recorded).  A second block lists
-    the headline counters: collective traffic, bucket flatten cost, cache
-    hit rates, and the failure/recovery accounting of chaos runs.
+    Returns ``{"step_seconds", "phases": [{category, name, seconds,
+    calls, fraction}, ...], "counters": <registry snapshot>}`` — the data
+    behind :func:`step_breakdown` and the body of ``report --json``.
     """
     trace = trace if trace is not None else telemetry.tracer.trace
     registry = registry if registry is not None else telemetry.metrics
@@ -58,18 +66,45 @@ def step_breakdown(trace: Trace | None = None, registry=None) -> str:
     if step_total <= 0.0:
         start, end = trace.span()
         step_total = end - start
+    phases = [
+        {
+            "category": category,
+            "name": name,
+            "seconds": seconds,
+            "calls": calls,
+            "fraction": seconds / step_total if step_total > 0 else 0.0,
+        }
+        for (category, name), (seconds, calls) in sorted(
+            totals.items(), key=lambda kv: -kv[1][0]
+        )
+    ]
+    return {
+        "step_seconds": step_total,
+        "phases": phases,
+        "counters": registry.snapshot(),
+    }
+
+
+def step_breakdown(trace: Trace | None = None, registry=None) -> str:
+    """Aggregate spans into an aligned per-phase table.
+
+    Rows are (category, span name) pairs with total seconds, call count,
+    and percentage of the total ``train_step`` span time (or of the whole
+    trace span when no step spans were recorded).  A second block lists
+    the headline counters: collective traffic, bucket flatten cost, cache
+    hit rates, and the failure/recovery accounting of chaos runs.
+    """
+    data = step_breakdown_data(trace, registry)
     lines = [
         f"{'category':<10} {'span':<24} {'total_s':>10} {'calls':>7} {'% step':>7}",
         "-" * 62,
     ]
-    for (category, name), (seconds, calls) in sorted(
-        totals.items(), key=lambda kv: -kv[1][0]
-    ):
-        pct = 100.0 * seconds / step_total if step_total > 0 else 0.0
+    for row in data["phases"]:
         lines.append(
-            f"{category:<10} {name:<24} {seconds:>10.4f} {calls:>7d} {pct:>6.1f}%"
+            f"{row['category']:<10} {row['name']:<24} {row['seconds']:>10.4f} "
+            f"{row['calls']:>7d} {100.0 * row['fraction']:>6.1f}%"
         )
-    snap = registry.snapshot()
+    snap = data["counters"]
     counter_lines = []
     for name in (
         "collective_bytes",
@@ -251,49 +286,208 @@ def demo_run(
     return sim_trace
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="repro-telemetry",
-        description="Run an instrumented training demo and report telemetry.",
-    )
-    parser.add_argument("--mesh", default="8x4", help="mesh as XxY (default 8x4)")
-    parser.add_argument("--steps", type=int, default=3, help="training steps")
-    parser.add_argument(
-        "--trace-out", default="telemetry_trace.json",
-        help="Chrome-trace JSON output path",
-    )
-    parser.add_argument(
-        "--metrics-out", default=None,
-        help="optional metrics snapshot JSON output path",
-    )
-    args = parser.parse_args(argv)
+def cmd_report(args: argparse.Namespace) -> int:
+    """``repro-telemetry report``: the instrumented demo + breakdown."""
     try:
         x_size, y_size = (int(p) for p in args.mesh.lower().split("x"))
     except ValueError:
-        parser.error(f"--mesh must look like 8x4, got {args.mesh!r}")
+        raise SystemExit(f"--mesh must look like 8x4, got {args.mesh!r}")
     telemetry.reset()
     sim_trace = demo_run(x_size, y_size, args.steps)
-    print(f"telemetry report — {x_size}x{y_size} mesh, {args.steps} steps")
-    print()
-    print(step_breakdown())
-    snap = telemetry.metrics.snapshot()
-    if not any(
-        name.startswith(("resilience_", "controlplane_")) for name in snap
-    ):
+    if args.json:
+        data = step_breakdown_data()
+        data["mesh"] = [x_size, y_size]
+        data["steps"] = args.steps
+        print(json.dumps(data, indent=2))
+    else:
+        print(f"telemetry report — {x_size}x{y_size} mesh, {args.steps} steps")
         print()
-        print(
-            "note: no resilience_* or controlplane_* counters were recorded "
-            "— this run had no chaos harness or control-plane activity. "
-            "Run `repro-experiments availability` for failure accounting."
-        )
+        print(step_breakdown())
+        snap = telemetry.metrics.snapshot()
+        if not any(
+            name.startswith(("resilience_", "controlplane_")) for name in snap
+        ):
+            print()
+            print(
+                "note: no resilience_* or controlplane_* counters were recorded "
+                "— this run had no chaos harness or control-plane activity. "
+                "Run `repro-experiments availability` for failure accounting."
+            )
     write_chrome_trace(args.trace_out, sim_trace=sim_trace)
-    print()
-    print(f"chrome trace written to {args.trace_out} (open in chrome://tracing)")
+    if not args.json:
+        print()
+        print(f"chrome trace written to {args.trace_out} (open in chrome://tracing)")
     if args.metrics_out:
         with open(args.metrics_out, "w") as f:
             f.write(telemetry.metrics.to_json())
-        print(f"metrics snapshot written to {args.metrics_out}")
+        if not args.json:
+            print(f"metrics snapshot written to {args.metrics_out}")
     return 0
+
+
+def cmd_postmortem(args: argparse.Namespace) -> int:
+    """``repro-telemetry postmortem``: dump or summarize a bundle.
+
+    With ``--demo`` (or no bundle path) a seed-deterministic chaos run
+    exterminates a 2x2 fleet so the flight recorder dumps a real bundle;
+    with a path, an existing bundle file is summarized.
+    """
+    if args.bundle is not None:
+        with open(args.bundle) as f:
+            bundle = json.load(f)
+    else:
+        from repro.experiments.availability import postmortem_demo
+
+        telemetry.reset()
+        table = postmortem_demo(seed=args.seed)
+        print(table.format())
+        print()
+        bundle = telemetry.flight_recorder.last_postmortem
+        if bundle is None:
+            raise SystemExit("demo run produced no postmortem bundle")
+        if args.out:
+            with open(args.out, "w") as f:
+                json.dump(bundle, f, indent=2)
+            print(f"postmortem bundle written to {args.out}")
+            print()
+    if args.json:
+        print(json.dumps(bundle, indent=2))
+        return 0
+    records = bundle.get("records", [])
+    kinds: dict[str, int] = defaultdict(int)
+    for r in records:
+        kinds[r["kind"]] += 1
+    fault = bundle.get("fault")
+    print(f"postmortem bundle ({bundle.get('schema', '?')})")
+    print(f"  reason:  {bundle.get('reason', '?')}")
+    if fault:
+        print(f"  fault:   {fault['type']}: {fault['message']}")
+    print(f"  records: {len(records)} (capacity {bundle.get('capacity')})")
+    for kind in sorted(kinds):
+        print(f"    {kind:<10} {kinds[kind]}")
+    tail = records[-args.tail:] if args.tail > 0 else []
+    if tail:
+        print(f"  last {len(tail)} records:")
+        for r in tail:
+            print(f"    t={r['t']:.6f} [{r['kind']}] {r['name']}")
+    return 0
+
+
+def cmd_critical_path(args: argparse.Namespace) -> int:
+    """``repro-telemetry critical-path``: attribution of a modeled step."""
+    from repro.core.step_time import StepTimeModel
+    from repro.core.strategy import ParallelismConfig
+    from repro.experiments.calibration import spec_for
+    from repro.telemetry import critical_path as cp
+
+    model = StepTimeModel(
+        spec_for(args.model),
+        ParallelismConfig(num_chips=args.chips, global_batch=args.batch),
+    )
+    ov = model.overlap_result()
+    result = cp.analyze(ov.trace)
+    if args.json:
+        print(json.dumps(result.to_json(), indent=2))
+        return 0
+    print(
+        f"critical path — {args.model}, {args.chips} chips, "
+        f"global batch {args.batch} ({ov.num_buckets} buckets)"
+    )
+    print()
+    print(cp.format_result(result))
+    return 0
+
+
+def cmd_drift(args: argparse.Namespace) -> int:
+    """``repro-telemetry drift``: model-vs-measured table, gated exit."""
+    from repro.telemetry import drift
+
+    entries = drift.drift_report()
+    if args.json:
+        print(json.dumps([e.to_json() for e in entries], indent=2))
+    else:
+        print(drift.format_report(entries, tolerance=args.tolerance))
+    ok, _ = drift.check_drift(entries, tolerance=args.tolerance)
+    return 0 if ok else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-telemetry",
+        description="Telemetry reports: step breakdown, postmortem bundles, "
+        "critical-path attribution, model-vs-measured drift.",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    p_report = sub.add_parser(
+        "report", help="run the instrumented demo and print the breakdown"
+    )
+    p_report.add_argument("--mesh", default="8x4", help="mesh as XxY (default 8x4)")
+    p_report.add_argument("--steps", type=int, default=3, help="training steps")
+    p_report.add_argument(
+        "--trace-out", default="telemetry_trace.json",
+        help="Chrome-trace JSON output path",
+    )
+    p_report.add_argument(
+        "--metrics-out", default=None,
+        help="optional metrics snapshot JSON output path",
+    )
+    p_report.add_argument(
+        "--json", action="store_true", help="machine-readable breakdown"
+    )
+    p_report.set_defaults(func=cmd_report)
+
+    p_pm = sub.add_parser(
+        "postmortem",
+        help="dump a flight-recorder bundle from a chaos demo, or summarize one",
+    )
+    p_pm.add_argument(
+        "bundle", nargs="?", default=None,
+        help="existing bundle JSON to summarize (omit to run the demo)",
+    )
+    p_pm.add_argument("--seed", type=int, default=7, help="demo fault-plan seed")
+    p_pm.add_argument(
+        "--out", default="postmortem.json",
+        help="where the demo writes its bundle (default postmortem.json)",
+    )
+    p_pm.add_argument(
+        "--tail", type=int, default=8, help="ring records to print (default 8)"
+    )
+    p_pm.add_argument("--json", action="store_true", help="print the full bundle")
+    p_pm.set_defaults(func=cmd_postmortem)
+
+    p_cp = sub.add_parser(
+        "critical-path",
+        help="critical-path attribution of a modeled overlap step",
+    )
+    p_cp.add_argument("--model", default="resnet50", help="calibrated model name")
+    p_cp.add_argument("--chips", type=int, default=256, help="slice size")
+    p_cp.add_argument("--batch", type=int, default=8192, help="global batch")
+    p_cp.add_argument("--json", action="store_true", help="machine-readable result")
+    p_cp.set_defaults(func=cmd_critical_path)
+
+    p_drift = sub.add_parser(
+        "drift", help="model-vs-measured drift table (exit 1 past tolerance)"
+    )
+    p_drift.add_argument(
+        "--tolerance", type=float, default=1e-6,
+        help="max relative drift (default 1e-6)",
+    )
+    p_drift.add_argument("--json", action="store_true", help="machine-readable table")
+    p_drift.set_defaults(func=cmd_drift)
+
+    # Back-compat: a bare `repro-telemetry --mesh 8x4` (the PR 1 command
+    # line) still runs the report.
+    if argv is None:
+        import sys as _sys
+
+        argv = _sys.argv[1:]
+    if not argv or argv[0] not in (
+        "report", "postmortem", "critical-path", "drift", "-h", "--help"
+    ):
+        argv = ["report", *argv]
+    args = parser.parse_args(argv)
+    return args.func(args)
 
 
 if __name__ == "__main__":

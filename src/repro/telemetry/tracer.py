@@ -20,14 +20,27 @@ Timestamps are seconds since the tracer's epoch (construction or last
 When the module-level ``repro.telemetry.enabled`` flag is off, ``span``
 returns a shared no-op context — two attribute lookups and no allocation,
 which is the "near-zero cost" guarantee the instrumented hot paths rely on.
+
+Concurrency: the open-span stack is **thread-local** (each writer thread
+nests independently) and completed events land in the shared trace via a
+single GIL-atomic list append, so concurrent writers (input-pipeline host
+threads, a chaos harness driving a trainer while a detector thread spans)
+interleave without corrupting each other's nesting.  *Sinks* registered
+with :meth:`Tracer.add_sink` observe every completed event — this is how
+the :class:`~repro.telemetry.flight.FlightRecorder` mirrors the span
+stream into its ring buffer.
 """
 
 from __future__ import annotations
 
+import logging
+import threading
 import time
 from typing import Callable
 
-from repro.sim.trace import Trace
+from repro.sim.trace import Trace, TraceEvent
+
+logger = logging.getLogger("repro.telemetry")
 
 #: Source tag stamped on every measured span (simulator traces default "").
 MEASURED_SOURCE = "measured"
@@ -71,14 +84,20 @@ class _Span:
         stack = tracer._stack
         if stack and stack[-1] is self:
             stack.pop()
-        tracer.trace.record(
+        event = TraceEvent(
             self.actor,
             self.name,
             self._start - tracer._epoch,
-            end - self._start,
+            max(0.0, end - self._start),
             self.category,
-            source=MEASURED_SOURCE,
+            MEASURED_SOURCE,
         )
+        tracer.trace.events.append(event)
+        for sink in tracer._sinks:
+            try:
+                sink(event)
+            except Exception:  # a broken sink must not kill the traced code
+                logger.exception("trace sink %r failed", sink)
 
 
 class Tracer:
@@ -97,8 +116,17 @@ class Tracer:
         self._clock = clock
         self.actor = actor
         self.trace = Trace()
-        self._stack: list[_Span] = []
+        self._local = threading.local()
+        self._sinks: list[Callable[[TraceEvent], None]] = []
         self._epoch = clock()
+
+    @property
+    def _stack(self) -> list["_Span"]:
+        """This thread's open-span stack (created on first use)."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     def span(self, name: str, category: str = "", actor: str | None = None):
         """Context manager timing one span; no-op when telemetry is disabled."""
@@ -108,9 +136,18 @@ class Tracer:
             return _NULL_SPAN
         return _Span(self, name, category, actor or self.actor)
 
+    def add_sink(self, fn: Callable[[TraceEvent], None]) -> None:
+        """Call ``fn(event)`` for every completed span (flight recorder hook)."""
+        if fn not in self._sinks:
+            self._sinks.append(fn)
+
+    def remove_sink(self, fn: Callable[[TraceEvent], None]) -> None:
+        if fn in self._sinks:
+            self._sinks.remove(fn)
+
     @property
     def depth(self) -> int:
-        """Number of currently open spans (0 outside any ``with`` block)."""
+        """Open spans on the calling thread (0 outside any ``with`` block)."""
         return len(self._stack)
 
     def now(self) -> float:
@@ -118,7 +155,11 @@ class Tracer:
         return self._clock() - self._epoch
 
     def reset(self) -> None:
-        """Drop all recorded events and restart the epoch at t=0."""
+        """Drop all recorded events and restart the epoch at t=0.
+
+        Sinks stay registered; only this thread's open-span stack can be
+        cleared (other threads' stacks empty as their spans exit).
+        """
         self.trace = Trace()
         self._stack.clear()
         self._epoch = self._clock()

@@ -1,0 +1,102 @@
+"""Model-vs-measured drift tests: the analytic cost models and the DES
+must still agree, the gate must trip when they stop agreeing, and the
+gauges must land in the registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry.drift import (
+    DEFAULT_TOLERANCE,
+    DriftEntry,
+    check_drift,
+    drift_report,
+    format_report,
+    max_drift,
+    overlap_drift,
+    ring_drift,
+    two_phase_drift,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_telemetry():
+    telemetry.enable()
+    telemetry.reset()
+    yield
+    telemetry.enable()
+    telemetry.reset()
+
+
+class TestDriftEntry:
+    def test_relative_drift(self):
+        e = DriftEntry("c", "p", measured_s=1.1, predicted_s=1.0)
+        assert e.drift_rel == pytest.approx(0.1)
+
+    def test_zero_prediction_uses_absolute_floor(self):
+        # A 1e-15 round-off sliver against a predicted 0.0 must not read
+        # as huge relative drift: the denominator floors at 1 ns.
+        e = DriftEntry("c", "p", measured_s=1e-15, predicted_s=0.0)
+        assert e.drift_rel < 1e-5
+
+    def test_to_json(self):
+        blob = DriftEntry("c", "p", 2.0, 1.0).to_json()
+        assert blob["case"] == "c" and blob["drift_rel"] == pytest.approx(1.0)
+
+
+class TestModelAgreement:
+    def test_ring_drift_within_tolerance(self):
+        entries = ring_drift()
+        assert entries
+        assert max_drift(entries) < DEFAULT_TOLERANCE
+
+    def test_two_phase_drift_within_tolerance(self):
+        entries = two_phase_drift()
+        phases = {e.phase for e in entries}
+        assert {"reduce_scatter_y", "all_gather_y"} <= phases
+        assert max_drift(entries) < DEFAULT_TOLERANCE
+
+    def test_overlap_drift_within_tolerance(self):
+        entries = overlap_drift(models=("resnet50",))
+        phases = {e.phase for e in entries}
+        assert {"step", "exposed_comm", "hidden_comm", "wire_comm"} <= phases
+        assert max_drift(entries) < DEFAULT_TOLERANCE
+
+    def test_full_report_within_tolerance(self):
+        entries = drift_report()
+        ok, bad = check_drift(entries)
+        assert ok, f"drift past tolerance: {[(e.case, e.phase) for e in bad]}"
+
+
+class TestGate:
+    def test_check_drift_trips_on_tight_tolerance(self):
+        entries = ring_drift()
+        ok, bad = check_drift(entries, tolerance=1e-300)
+        assert not ok
+        assert bad
+
+    def test_check_drift_flags_injected_rot(self):
+        entries = [
+            DriftEntry("good", "p", 1.0, 1.0),
+            DriftEntry("rotten", "p", 1.5, 1.0),
+        ]
+        ok, bad = check_drift(entries, tolerance=1e-6)
+        assert not ok
+        assert [e.case for e in bad] == ["rotten"]
+
+    def test_gauges_exported(self):
+        entries = drift_report(include_overlap=False)
+        snap = telemetry.metrics.snapshot()
+        assert "model_drift_rel" in snap
+        assert "model_drift_max" in snap
+        e = entries[0]
+        assert telemetry.metrics.value(
+            "model_drift_rel", case=e.case, phase=e.phase
+        ) == pytest.approx(e.drift_rel, abs=0)
+
+    def test_format_report(self):
+        entries = ring_drift()
+        text = format_report(entries, tolerance=DEFAULT_TOLERANCE)
+        assert "max relative drift" in text
+        assert entries[0].case in text

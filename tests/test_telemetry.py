@@ -61,6 +61,39 @@ class TestRegistry:
         g.dec(1.0)
         assert m.value("hbm", device="0,0") == 6.0
 
+    def test_label_cardinality_guard(self):
+        m = MetricsRegistry(max_children=3)
+        for i in range(3):
+            m.counter("bytes", device=str(i)).inc(1)
+        # Saturated: new label sets collapse into the shared overflow child.
+        m.counter("bytes", device="3").inc(5)
+        m.counter("bytes", device="4").inc(7)
+        assert m.value("bytes", overflow="true") == 12
+        assert m.value(
+            "telemetry_label_overflow", metric="bytes"
+        ) == 2
+        # Established children keep working past saturation.
+        m.counter("bytes", device="1").inc(10)
+        assert m.value("bytes", device="1") == 11
+        # The family never grows past max_children + the overflow child.
+        snap = m.snapshot()
+        assert len(snap["bytes"]["values"]) <= 3 + 1
+
+    def test_label_guard_spares_unlabeled_child(self):
+        m = MetricsRegistry(max_children=1)
+        m.counter("c", x="a").inc()
+        # The unlabeled child is the family's identity series, never routed
+        # to overflow.
+        m.counter("c").inc(3)
+        assert m.value("c") == 3
+
+    def test_label_guard_overflow_counter_does_not_recurse(self):
+        m = MetricsRegistry(max_children=1)
+        for i in range(5):
+            m.counter("c", x=str(i)).inc()
+        # telemetry_label_overflow itself saturates without re-counting.
+        assert m.total("telemetry_label_overflow") == 4
+
     def test_histogram_bucket_edges(self):
         m = MetricsRegistry()
         h = m.histogram("lat", buckets=[1.0, 10.0, 100.0])

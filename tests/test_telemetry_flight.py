@@ -1,0 +1,239 @@
+"""Flight recorder tests: ring bounds, concurrent writers, postmortem
+bundles, and the end-to-end chip-death acceptance path."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry.flight import (
+    DEFAULT_CAPACITY,
+    POSTMORTEM_SCHEMA,
+    FlightRecorder,
+    on_terminal_failure,
+)
+from repro.telemetry.tracer import Tracer
+
+
+@pytest.fixture(autouse=True)
+def _clean_telemetry():
+    telemetry.enable()
+    telemetry.reset()
+    yield
+    telemetry.enable()
+    telemetry.reset()
+
+
+class TestRingBounds:
+    def test_ring_never_exceeds_capacity(self):
+        rec = FlightRecorder(capacity=8)
+        for i in range(100):
+            rec.record("span", f"op{i}", i=i)
+            assert len(rec) <= 8
+        records = rec.records
+        assert len(records) == 8
+        # Oldest dropped, newest kept, order preserved.
+        assert [r.data["i"] for r in records] == list(range(92, 100))
+
+    def test_default_capacity(self):
+        assert FlightRecorder().capacity == DEFAULT_CAPACITY
+
+    def test_capacity_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FLIGHT_CAPACITY", "17")
+        assert FlightRecorder().capacity == 17
+        monkeypatch.setenv("REPRO_FLIGHT_CAPACITY", "garbage")
+        assert FlightRecorder().capacity == DEFAULT_CAPACITY
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+    def test_clear_resets_ring_and_epoch(self):
+        rec = FlightRecorder(capacity=4)
+        rec.record("span", "a")
+        rec.dump(reason="test")
+        rec.clear()
+        assert len(rec) == 0
+        # dump_count survives clear() — availability tables diff it.
+        assert rec.dump_count == 1
+
+    def test_memory_is_bounded_by_capacity(self):
+        """The ring holds at most ``capacity`` records no matter the volume,
+        and records carry only small scalar payloads."""
+        rec = FlightRecorder(capacity=32)
+        for i in range(10_000):
+            rec.record("counters", "delta", value=float(i))
+        assert len(rec.records) == 32
+        for r in rec.records:
+            assert set(r.data) == {"value"}
+
+
+class TestConcurrentWriters:
+    def test_threads_recording_directly(self):
+        rec = FlightRecorder(capacity=64)
+        n_threads, n_each = 8, 500
+
+        def writer(tid: int):
+            for i in range(n_each):
+                rec.record("span", f"t{tid}", i=i)
+
+        threads = [threading.Thread(target=writer, args=(t,)) for t in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        records = rec.records
+        assert len(records) == 64
+        # Every surviving record is intact (no torn writes).
+        for r in records:
+            assert r.kind == "span" and r.name.startswith("t")
+            assert 0 <= r.data["i"] < n_each
+
+    def test_tracer_sink_under_concurrent_spans(self):
+        """Concurrent measured spans flow through the sink without
+        corrupting the ring; per-thread span stacks stay consistent."""
+        tracer = Tracer()
+        rec = FlightRecorder(capacity=128)
+        tracer.add_sink(rec.on_trace_event)
+        n_threads, n_each = 6, 40
+
+        def worker(tid: int):
+            for i in range(n_each):
+                with tracer.span(f"outer{tid}", category="compute"):
+                    with tracer.span(f"inner{tid}", category="comm"):
+                        pass
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(tracer.trace.events) == n_threads * n_each * 2
+        records = rec.records
+        assert len(records) == 128
+        for r in records:
+            assert r.kind == "span"
+            assert r.data["duration"] >= 0.0
+
+
+class TestDisabled:
+    def test_record_is_noop_when_disabled(self):
+        rec = FlightRecorder(capacity=8)
+        telemetry.disable()
+        rec.record("span", "a")
+        rec.record_fault(RuntimeError("x"))
+        rec.record_counter_deltas()
+        assert len(rec) == 0
+
+    def test_on_terminal_failure_disabled_writes_nothing(self, tmp_path):
+        rec = FlightRecorder(capacity=8, dump_dir=str(tmp_path))
+        telemetry.disable()
+        assert on_terminal_failure(RuntimeError("boom"), recorder=rec) is None
+        assert rec.last_postmortem is None
+        assert list(tmp_path.iterdir()) == []
+
+    def test_repro_telemetry_0_disables_process_recorder(self):
+        """The process recorder's writes are gated on the same flag
+        ``REPRO_TELEMETRY=0`` clears at import."""
+        telemetry.flight_recorder.clear()
+        telemetry.disable()
+        telemetry.flight_recorder.record("span", "a")
+        telemetry.tracer.span("x").__enter__()
+        assert len(telemetry.flight_recorder) == 0
+
+
+class TestPostmortem:
+    def test_bundle_contents(self):
+        rec = FlightRecorder(capacity=16)
+        rec.record("span", "fwd", duration=1.0)
+        err = RuntimeError("chip died")
+        rec.record_fault(err, origin="test", step=3)
+        bundle = rec.postmortem_bundle("test", exc=err)
+        assert bundle["schema"] == POSTMORTEM_SCHEMA
+        assert bundle["fault"]["type"] == "RuntimeError"
+        assert bundle["num_records"] == 2
+        assert bundle["records"][0]["name"] == "fwd"
+        assert "counters" in bundle
+        json.dumps(bundle)  # JSON-ready all the way down
+
+    def test_dump_memory_only_by_default(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        rec = FlightRecorder(capacity=4)
+        rec.record("span", "a")
+        assert rec.dump(reason="r") is None
+        assert rec.last_postmortem["reason"] == "r"
+        assert rec.last_postmortem_seconds >= 0.0
+        assert list(tmp_path.iterdir()) == []
+
+    def test_dump_writes_file_when_dir_set(self, tmp_path):
+        rec = FlightRecorder(capacity=4, dump_dir=str(tmp_path))
+        rec.record("fault", "X")
+        path = rec.dump(reason="crash")
+        assert path is not None
+        with open(path) as f:
+            bundle = json.load(f)
+        assert bundle["reason"] == "crash"
+        assert bundle["num_records"] == 1
+
+    def test_on_terminal_failure_dedups_per_exception(self):
+        rec = FlightRecorder(capacity=8)
+        err = RuntimeError("boom")
+        on_terminal_failure(err, origin="layer1", recorder=rec)
+        on_terminal_failure(err, origin="layer2", recorder=rec)
+        assert rec.dump_count == 1
+        assert len(rec.records_of_kind("fault")) == 1
+
+    def test_dump_counter_metric(self):
+        rec = FlightRecorder(capacity=8)
+        rec.dump(reason="why")
+        assert telemetry.metrics.value("flight_postmortems", reason="why") == 1
+
+
+class TestCounterDeltas:
+    def test_only_changes_recorded(self):
+        rec = FlightRecorder(capacity=16)
+        telemetry.metrics.counter("steps_total").inc(3)
+        rec.record_counter_deltas()
+        telemetry.metrics.counter("steps_total").inc(2)
+        telemetry.metrics.gauge("loss").set(0.5)
+        rec.record_counter_deltas()
+        rec.record_counter_deltas()  # nothing moved: no record
+        deltas = rec.records_of_kind("counters")
+        assert len(deltas) == 2
+        assert deltas[0].data["deltas"]["steps_total"] == 3
+        assert deltas[1].data["deltas"]["steps_total"] == 2
+        assert deltas[1].data["deltas"]["loss"] == 0.5
+
+
+class TestChipDeathAcceptance:
+    def test_extermination_produces_postmortem(self):
+        """Seed-deterministic chip-death run: the bundle must hold the fault
+        event, the >= 64 preceding spans, and the final counter snapshot."""
+        from repro.experiments.availability import postmortem_demo
+
+        table = postmortem_demo(seed=7)
+        (row,) = table.rows
+        assert row[0] == "DeviceLostError"
+        bundle = telemetry.flight_recorder.last_postmortem
+        assert bundle is not None
+        assert bundle["schema"] == POSTMORTEM_SCHEMA
+        assert bundle["fault"]["type"] == "DeviceLostError"
+        kinds = [r["kind"] for r in bundle["records"]]
+        assert kinds.count("span") >= 64
+        assert kinds.count("fault") == 1
+        assert bundle["counters"]  # final registry snapshot travels along
+        assert bundle["num_records"] <= telemetry.flight_recorder.capacity
+
+    def test_demo_is_seed_deterministic(self):
+        from repro.experiments.availability import postmortem_demo
+
+        a = postmortem_demo(seed=7)
+        first = telemetry.flight_recorder.last_postmortem["num_records"]
+        telemetry.reset()
+        b = postmortem_demo(seed=7)
+        second = telemetry.flight_recorder.last_postmortem["num_records"]
+        assert a.rows[0][:5] == b.rows[0][:5]
+        assert first == second
