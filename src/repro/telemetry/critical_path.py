@@ -255,11 +255,15 @@ def critical_path(
     by_end = sorted(events, key=lambda e: (e.end, e.duration))
     current = by_end[-1]
     segments: list[PathSegment] = []
+    # Zero-duration events sharing a timestamp satisfy each other's
+    # predecessor condition; the visited set keeps the backward walk from
+    # cycling through them and guarantees termination in <= len(events) steps.
+    visited: set[int] = {id(current)}
     while True:
         candidates = [
             e
             for e in events
-            if e is not current and e.end <= current.start + CONTACT_EPS
+            if id(e) not in visited and e.end <= current.start + CONTACT_EPS
         ]
         if not candidates:
             segments.append(PathSegment(current, wait_s=max(0.0, current.start - (window[0] if window else min(e.start for e in events)))))
@@ -272,6 +276,7 @@ def critical_path(
             PathSegment(current, wait_s=max(0.0, current.start - pred.end))
         )
         current = pred
+        visited.add(id(pred))
     segments.reverse()
     return tuple(segments)
 

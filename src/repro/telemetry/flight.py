@@ -157,9 +157,10 @@ class FlightRecorder:
     def record_counter_deltas(self, registry=None) -> None:
         """Record which scalar metrics moved (and by how much) since last call.
 
-        Reads the registry's counter/gauge children directly (histograms and
-        collectors are skipped — this runs per training step) and stores only
-        the changed values, keyed ``name{k=v,...}``.
+        Reads the registry's counter/gauge children (histograms and
+        collectors are skipped — this runs per training step) via the
+        lock-protected :meth:`~repro.telemetry.registry.MetricsRegistry.scalar_children`
+        snapshot and stores only the changed values, keyed ``name{k=v,...}``.
         """
         from repro import telemetry
 
@@ -167,12 +168,9 @@ class FlightRecorder:
             return
         registry = registry if registry is not None else telemetry.metrics
         current: dict[str, float] = {}
-        for name, family in registry._families.items():
-            if family.kind == "histogram":
-                continue
-            for key, child in family.children.items():
-                labels = ",".join(f"{k}={v}" for k, v in key)
-                current[f"{name}{{{labels}}}" if labels else name] = child.value
+        for name, key, value in registry.scalar_children():
+            labels = ",".join(f"{k}={v}" for k, v in key)
+            current[f"{name}{{{labels}}}" if labels else name] = value
         deltas = {
             k: v - self._last_counts.get(k, 0.0)
             for k, v in current.items()
@@ -280,7 +278,9 @@ class FlightRecorder:
         """Build (and, when a directory is configured, write) a bundle.
 
         Returns the written path, or ``None`` when the bundle stayed
-        in memory (no ``path`` argument, no dump directory).  The bundle
+        in memory (no ``path`` argument, no dump directory) **or the
+        write failed** — a broken dump directory must not replace the
+        terminal failure the caller is about to re-raise.  The bundle
         is always available afterwards at :attr:`last_postmortem`.
         """
         t0 = self._clock()
@@ -288,19 +288,26 @@ class FlightRecorder:
         self.last_postmortem = bundle
         self._dump_count += 1
         out_path = path
-        if out_path is None and self.dump_dir:
-            os.makedirs(self.dump_dir, exist_ok=True)
-            out_path = os.path.join(
-                self.dump_dir,
-                f"postmortem_{os.getpid()}_{self._dump_count:03d}.json",
+        try:
+            if out_path is None and self.dump_dir:
+                os.makedirs(self.dump_dir, exist_ok=True)
+                out_path = os.path.join(
+                    self.dump_dir,
+                    f"postmortem_{os.getpid()}_{self._dump_count:03d}.json",
+                )
+            if out_path is not None:
+                with open(out_path, "w") as f:
+                    json.dump(bundle, f, indent=2)
+                logger.warning(
+                    "postmortem bundle (%s, %d records) written to %s",
+                    reason, bundle["num_records"], out_path,
+                )
+        except Exception:  # a broken sink must not kill the traced code
+            logger.exception(
+                "postmortem bundle (%s) could not be written; keeping it in memory",
+                reason,
             )
-        if out_path is not None:
-            with open(out_path, "w") as f:
-                json.dump(bundle, f, indent=2)
-            logger.warning(
-                "postmortem bundle (%s, %d records) written to %s",
-                reason, bundle["num_records"], out_path,
-            )
+            out_path = None
         self.last_postmortem_seconds = self._clock() - t0
         from repro import telemetry
 

@@ -251,6 +251,22 @@ class MetricsRegistry:
             c.value for c in family.children.values() if not isinstance(c, Histogram)
         )
 
+    def scalar_children(self) -> list[tuple[str, LabelKey, float]]:
+        """``(name, label key, value)`` for every counter/gauge child.
+
+        The family and child maps are copied while holding the registry
+        lock, so callers (e.g. the flight recorder's per-step counter
+        deltas) can iterate safely while other threads create metrics.
+        """
+        with self._lock:
+            children = [
+                (family.name, key, child)
+                for family in self._families.values()
+                if family.kind != "histogram"
+                for key, child in family.children.items()
+            ]
+        return [(name, key, child.value) for name, key, child in children]
+
     def snapshot(self) -> dict:
         """All metrics as a JSON-ready dict (runs registered collectors)."""
         for fn in list(self._collectors):

@@ -167,6 +167,34 @@ class TestCriticalPath:
     def test_empty(self):
         assert critical_path(Trace()) == ()
 
+    def test_zero_duration_ties_terminate(self):
+        # Two zero-duration events at one timestamp satisfy each other's
+        # predecessor condition (end <= start + eps); the walk must not
+        # ping-pong between them forever.
+        t = _trace(
+            ("a", "tick", 1.0, 0.0, "compute"),
+            ("b", "tock", 1.0, 0.0, "compute"),
+        )
+        path = critical_path(t)
+        assert 1 <= len(path) <= 2
+        assert path[-1].event.start == 1.0
+
+    def test_zero_duration_ties_inside_longer_chain(self):
+        # Zero-duration markers between real spans must not trap the walk
+        # or break the chain through them.
+        t = _trace(
+            ("mxu", "fwd", 0.0, 1.0, "compute"),
+            ("ctrl", "mark0", 1.0, 0.0, "barrier"),
+            ("ctrl", "mark1", 1.0, 0.0, "barrier"),
+            ("ici", "ar", 1.0, 2.0, "comm"),
+        )
+        path = critical_path(t)
+        assert path[-1].event.name == "ar"
+        assert len(path) <= 4
+        # An event appears at most once on the chain.
+        names = [s.event.name for s in path]
+        assert len(names) == len(set(names))
+
 
 class TestSlack:
     def test_slack_identifies_idle_actor(self):

@@ -94,6 +94,16 @@ class TestRegistry:
         # telemetry_label_overflow itself saturates without re-counting.
         assert m.total("telemetry_label_overflow") == 4
 
+    def test_scalar_children_snapshot(self):
+        m = MetricsRegistry()
+        m.counter("bytes", op="ar").inc(7)
+        m.gauge("loss").set(0.25)
+        m.histogram("lat").observe(1.0)  # histograms excluded
+        children = m.scalar_children()
+        assert ("bytes", (("op", "ar"),), 7.0) in children
+        assert ("loss", (), 0.25) in children
+        assert all(name != "lat" for name, _, _ in children)
+
     def test_histogram_bucket_edges(self):
         m = MetricsRegistry()
         h = m.histogram("lat", buckets=[1.0, 10.0, 100.0])

@@ -178,6 +178,28 @@ class TestPostmortem:
         assert bundle["reason"] == "crash"
         assert bundle["num_records"] == 1
 
+    def test_dump_write_failure_is_best_effort(self, tmp_path):
+        # dump_dir exists as a *file*, so the write path raises OSError.
+        # The terminal failure being reported must still propagate at the
+        # call sites, so dump() swallows the error, keeps the bundle in
+        # memory, and returns None.
+        blocker = tmp_path / "postmortems"
+        blocker.write_text("not a directory")
+        rec = FlightRecorder(capacity=4, dump_dir=str(blocker))
+        rec.record("fault", "X")
+        assert rec.dump(reason="crash") is None
+        assert rec.last_postmortem["reason"] == "crash"
+        assert rec.dump_count == 1
+
+    def test_on_terminal_failure_survives_broken_dump_dir(self, tmp_path):
+        blocker = tmp_path / "postmortems"
+        blocker.write_text("not a directory")
+        rec = FlightRecorder(capacity=8, dump_dir=str(blocker))
+        err = RuntimeError("chip died")
+        # Must not replace the terminal failure with an OSError.
+        assert on_terminal_failure(err, origin="test", recorder=rec) is None
+        assert rec.last_postmortem["fault"]["type"] == "RuntimeError"
+
     def test_on_terminal_failure_dedups_per_exception(self):
         rec = FlightRecorder(capacity=8)
         err = RuntimeError("boom")
@@ -206,6 +228,28 @@ class TestCounterDeltas:
         assert deltas[0].data["deltas"]["steps_total"] == 3
         assert deltas[1].data["deltas"]["steps_total"] == 2
         assert deltas[1].data["deltas"]["loss"] == 0.5
+
+    def test_deltas_under_concurrent_metric_creation(self):
+        """New families/children appearing mid-iteration must not raise
+        'dictionary changed size during iteration' — the recorder reads a
+        lock-protected registry snapshot."""
+        rec = FlightRecorder(capacity=64)
+        stop = threading.Event()
+
+        def creator():
+            i = 0
+            while not stop.is_set():
+                telemetry.metrics.counter("churn_family_%d" % (i % 7), device=str(i)).inc()
+                i += 1
+
+        t = threading.Thread(target=creator)
+        t.start()
+        try:
+            for _ in range(300):
+                rec.record_counter_deltas()
+        finally:
+            stop.set()
+            t.join()
 
 
 class TestChipDeathAcceptance:
