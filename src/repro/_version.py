@@ -1,3 +1,3 @@
 """Version of the tpu-multipod-repro package."""
 
-__version__ = "0.7.0"
+__version__ = "0.9.0"

@@ -243,7 +243,7 @@ def _send_chunk_with_faults(
                 _telemetry.metrics.counter("resilience_retries").inc()
             if attempt >= policy.max_attempts:
                 raise LinkDownError(tuple(link.src), tuple(link.dst), attempt)
-            yield sim.timeout(policy.timeout_s + policy.backoff_after(attempt))
+            yield sim.timeout(policy.delay_after(attempt))
 
 
 def _ring_phase_with_faults(

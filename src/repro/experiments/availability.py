@@ -117,14 +117,17 @@ def sweep(
             )
             dumps_before = _telemetry.flight_recorder.dump_count
             report = run_chaos(plan, config, state_bytes=_STATE_BYTES)
+            # Consume the GoodputAccounting schema shared with the cluster
+            # scheduler's JobReport — one accounting contract for both.
+            acc = report.accounting_dict()
             table.add_row(
                 chips,
                 f"{rate:.0e}" if rate else "0",
                 report.device_failures,
-                report.restarts,
-                report.lost_steps,
-                f"{report.mttr_seconds:.1f}",
-                f"{report.goodput:.3f}",
+                int(acc["restarts"]),
+                int(acc["lost_steps"]),
+                f"{acc['mttr_seconds']:.1f}",
+                f"{acc['goodput']:.3f}",
                 _postmortem_cell(dumps_before),
             )
     return table

@@ -17,6 +17,7 @@ import sys
 from repro.experiments import (
     ablations,
     availability,
+    cluster,
     overlap,
     sensitivity,
     figure5,
@@ -44,6 +45,7 @@ EXPERIMENTS = {
     "overlap": overlap.run,
     "sensitivity": sensitivity.run,
     "availability": availability.run,
+    "cluster": cluster.run,
 }
 
 

@@ -122,31 +122,27 @@ class ChaosConfig:
 
 
 @dataclass
-class ChaosReport:
-    """Outcome of one chaos run: goodput accounting plus the final state."""
+class GoodputAccounting:
+    """The structured failure/recovery accounting schema of one workload.
+
+    Every consumer of goodput numbers — :func:`run_chaos` (both real and
+    accounting-only modes), the per-tenant
+    :class:`~repro.cluster.jobs.JobReport` of the cluster scheduler, and
+    the :mod:`repro.experiments.availability` sweep — reads this one
+    dataclass rather than ad-hoc dicts, so a field added here propagates
+    to every table with the same meaning.
+    """
 
     steps_executed: int = 0
-    device_failures: int = 0
     restarts: int = 0
     lost_steps: int = 0
     checkpoints_taken: int = 0
     restart_seconds: float = 0.0
     total_seconds: float = 0.0
     useful_seconds: float = 0.0
-    survivors: int = 0
     detections: int = 0
     detection_seconds: float = 0.0
     preemptions: int = 0
-    preempt_checkpoints_saved: int = 0
-    guard_checks: int = 0
-    desync_events: list["DesyncEvent"] = field(default_factory=list)
-    losses: list[float] = field(default_factory=list)
-    final_params: dict[str, np.ndarray] | None = None
-    #: Wall seconds actually measured per step phase, summed over every
-    #: executed step (populated when the trainer returns ``StepResult``).
-    measured_phase_seconds: dict[str, float] = field(default_factory=dict)
-    #: Fused collective payload actually handed to the wire, summed.
-    measured_bytes_moved: float = 0.0
 
     @property
     def goodput(self) -> float:
@@ -168,6 +164,47 @@ class ChaosReport:
         if self.detections == 0:
             return 0.0
         return self.detection_seconds / self.detections
+
+    def accounting_dict(self) -> dict[str, float]:
+        """The stable, JSON-ready goodput schema (fields + derived rates)."""
+        return {
+            "steps_executed": self.steps_executed,
+            "restarts": self.restarts,
+            "lost_steps": self.lost_steps,
+            "checkpoints_taken": self.checkpoints_taken,
+            "restart_seconds": self.restart_seconds,
+            "total_seconds": self.total_seconds,
+            "useful_seconds": self.useful_seconds,
+            "detections": self.detections,
+            "detection_seconds": self.detection_seconds,
+            "preemptions": self.preemptions,
+            "goodput": self.goodput,
+            "mttr_seconds": self.mttr_seconds,
+            "mttd_seconds": self.mttd_seconds,
+        }
+
+
+@dataclass
+class ChaosReport(GoodputAccounting):
+    """Outcome of one chaos run: goodput accounting plus the final state.
+
+    Both modes of :func:`run_chaos` — real numerics and accounting-only —
+    return this same dataclass (never a bare dict), extending the shared
+    :class:`GoodputAccounting` schema with the chaos-specific state.
+    """
+
+    device_failures: int = 0
+    survivors: int = 0
+    preempt_checkpoints_saved: int = 0
+    guard_checks: int = 0
+    desync_events: list["DesyncEvent"] = field(default_factory=list)
+    losses: list[float] = field(default_factory=list)
+    final_params: dict[str, np.ndarray] | None = None
+    #: Wall seconds actually measured per step phase, summed over every
+    #: executed step (populated when the trainer returns ``StepResult``).
+    measured_phase_seconds: dict[str, float] = field(default_factory=dict)
+    #: Fused collective payload actually handed to the wire, summed.
+    measured_bytes_moved: float = 0.0
 
     @property
     def desyncs_caught(self) -> int:

@@ -195,28 +195,74 @@ class BitFlipFault:
 
 @dataclass(frozen=True)
 class RetryPolicy:
-    """Timeout + exponential-backoff policy for faulted link transfers.
+    """Bounded retries with exponential backoff and deterministic jitter.
 
-    An attempt on a down link burns ``timeout_s`` (the sender's detection
-    timeout), then waits ``backoff_s * backoff_factor**k`` before attempt
-    ``k+1``.  After ``max_attempts`` failed attempts the transfer raises
-    :class:`LinkDownError` into the collective schedule.
+    One shared policy dataclass governs every retry loop in the repo:
+
+    * the faulted link transfers in :mod:`repro.comm.schedule` — an
+      attempt on a down link burns ``timeout_s`` (the sender's detection
+      timeout), then waits ``backoff_s * backoff_factor**k`` before
+      attempt ``k+1``; after ``max_attempts`` failed attempts the
+      transfer raises :class:`LinkDownError` into the collective
+      schedule;
+    * the cluster admission loop in :mod:`repro.cluster.scheduler` — a
+      job that cannot be placed retries on the same exponential schedule,
+      decorrelated across tenants by a *deterministic* jitter term
+      derived from ``(key, attempt)``.
+
+    ``jitter_frac`` scales the jitter as a fraction of the backoff and
+    defaults to ``0.0``, which keeps the link-retry path bit-identical to
+    the historical hardcoded constants (``1e-3`` timeout, 4 attempts,
+    ``2e-3`` base backoff, factor 2).  Jitter is *not* random: the same
+    ``(key, attempt)`` always yields the same delay, so a seeded run
+    replays exactly.
     """
 
     timeout_s: float = 1e-3
     max_attempts: int = 4
     backoff_s: float = 2e-3
     backoff_factor: float = 2.0
+    jitter_frac: float = 0.0
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
         if self.timeout_s < 0 or self.backoff_s < 0 or self.backoff_factor < 1:
             raise ValueError("negative timeout/backoff")
+        if not 0.0 <= self.jitter_frac <= 1.0:
+            raise ValueError("jitter_frac must be in [0, 1]")
 
     def backoff_after(self, attempt: int) -> float:
         """Seconds to wait after failed attempt number ``attempt`` (1-based)."""
         return self.backoff_s * self.backoff_factor ** (attempt - 1)
+
+    def jitter_after(self, attempt: int, key: int = 0) -> float:
+        """Deterministic jitter in ``[0, jitter_frac * backoff)`` for ``key``.
+
+        The uniform draw comes from hashing ``(key, attempt)`` through
+        ``numpy``'s :class:`~numpy.random.SeedSequence`, so two tenants
+        (different keys) back off at decorrelated times while the same
+        seeded run always replays the same delays.
+        """
+        if self.jitter_frac == 0.0:
+            return 0.0
+        word = np.random.SeedSequence(
+            (int(key) & 0xFFFFFFFFFFFFFFFF, int(attempt))
+        ).generate_state(1)[0]
+        return self.backoff_after(attempt) * self.jitter_frac * (word / 2**32)
+
+    def delay_after(self, attempt: int, key: int = 0) -> float:
+        """Total stall charged after failed attempt ``attempt`` (1-based).
+
+        ``timeout_s`` (detecting the failure) plus the exponential backoff
+        plus the deterministic jitter.  With the default ``jitter_frac=0``
+        this is exactly the historical ``timeout_s + backoff_after``.
+        """
+        return (
+            self.timeout_s
+            + self.backoff_after(attempt)
+            + self.jitter_after(attempt, key)
+        )
 
 
 @dataclass(frozen=True)
