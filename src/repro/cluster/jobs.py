@@ -82,6 +82,14 @@ class JobSpec:
     The SLO is attained when the job completes with at least
     ``slo_goodput`` goodput and, if ``deadline_s`` is set, finishes by
     that cluster wall-clock time.
+
+    ``checkpoint_policy`` is a per-tenant opt-in: a
+    :class:`~repro.controlplane.checkpointing.CheckpointPolicy` (e.g.
+    :class:`~repro.controlplane.checkpointing.RiskAdaptive`) that
+    replaces the fixed ``checkpoint_interval`` rule — a high-hazard
+    tenant can checkpoint on the Young/Daly schedule while its
+    neighbors keep the legacy step interval.  ``None`` (the default)
+    preserves the fixed-interval behavior bit-for-bit.
     """
 
     name: str
@@ -96,6 +104,7 @@ class JobSpec:
     batch_fn_factory: Callable[[int], BatchFn] | None = None
     slo_goodput: float = 0.0
     deadline_s: float | None = None
+    checkpoint_policy: Any = None
 
     def __post_init__(self) -> None:
         if not self.name:

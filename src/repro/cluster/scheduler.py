@@ -206,8 +206,8 @@ class _Job:
 
     __slots__ = (
         "spec", "report", "trainer", "trainer_base", "batch_fn", "ckpt",
-        "ckpt_step", "ckpt_bytes", "step", "resume_at_s", "next_retry_tick",
-        "attempts", "stall_debt", "retry_key",
+        "ckpt_step", "ckpt_time", "ckpt_bytes", "step", "resume_at_s",
+        "next_retry_tick", "attempts", "stall_debt", "retry_key",
     )
 
     def __init__(self, spec: JobSpec, cluster_seed: int) -> None:
@@ -224,6 +224,7 @@ class _Job:
         )
         self.ckpt = None
         self.ckpt_step = 0
+        self.ckpt_time = 0.0
         self.ckpt_bytes = spec.state_bytes
         self.step = 0
         self.resume_at_s = 0.0
@@ -314,15 +315,31 @@ class ClusterScheduler:
     def _restore_seconds(self, job: _Job) -> float:
         return job.ckpt_bytes / self.config.restore_bandwidth_bytes_per_s
 
-    def _save_checkpoint(self, job: _Job, charge_s: float) -> None:
+    def _save_checkpoint(
+        self, job: _Job, charge_s: float, now_s: float | None = None
+    ) -> None:
         """Snapshot the job's full state; ``charge_s`` is the non-overlapped cost."""
         if job.trainer is not None:
             job.ckpt = job.trainer.save_checkpoint()
             job.ckpt_bytes = job.ckpt.nbytes
         job.ckpt_step = job.step
+        if now_s is not None:
+            job.ckpt_time = now_s
         job.report.checkpoints_taken += 1
         job.report.total_seconds += charge_s
         job.report.timeline.append(("save", job.step))
+
+    def _should_checkpoint(self, job: _Job, now_s: float) -> bool:
+        """Per-tenant policy decision; ``None`` keeps the legacy fixed rule."""
+        policy = job.spec.checkpoint_policy
+        if policy is None:
+            return job.step % job.spec.checkpoint_interval == 0
+        return policy.should_checkpoint(
+            step=job.step,
+            now_s=now_s,
+            last_checkpoint_step=job.ckpt_step,
+            last_checkpoint_time_s=job.ckpt_time,
+        )
 
     def _build_trainer(self, job: _Job, replicas: int, restore: bool) -> None:
         """(Re)construct the job's trainer and optionally restore its checkpoint."""
@@ -411,7 +428,7 @@ class ClusterScheduler:
         if announced:
             save_s = self._restore_seconds(job)
             if save_s <= grace_s:
-                self._save_checkpoint(job, save_s)
+                self._save_checkpoint(job, save_s, now_s)
                 stall_s += save_s
                 self._count("cluster_grace_saves", job.name)
             lost_steps = job.step - job.ckpt_step
@@ -505,7 +522,7 @@ class ClusterScheduler:
         saved_in_grace = save_s <= grace_s
         report = victim.report
         if saved_in_grace:
-            self._save_checkpoint(victim, save_s)
+            self._save_checkpoint(victim, save_s, now_s)
             lost = 0
             self._count("cluster_grace_saves", victim.name)
         else:
@@ -564,7 +581,7 @@ class ClusterScheduler:
             job.resume_at_s = now_s
             self._build_trainer(job, replicas, restore=False)
             # Initial snapshot before any work, as run_chaos takes one.
-            self._save_checkpoint(job, 0.0)
+            self._save_checkpoint(job, 0.0, now_s)
         self._count("cluster_admissions", job.name)
         self._emit(
             "admit", job.name,
@@ -651,7 +668,7 @@ class ClusterScheduler:
 
     def _resize(self, job: _Job, replicas: int, now_s: float, kind: str) -> None:
         """Announced replica-count change at a checkpoint boundary."""
-        self._save_checkpoint(job, self.config.checkpoint_write_seconds)
+        self._save_checkpoint(job, self.config.checkpoint_write_seconds, now_s)
         restore_s = self._restore_seconds(job)
         job.report.total_seconds += restore_s
         job.resume_at_s = now_s + self.config.checkpoint_write_seconds + restore_s
@@ -716,9 +733,9 @@ class ClusterScheduler:
             self.result.chip_seconds_used += len(alive) * base
             if job.step >= job.spec.target_steps:
                 self._complete(job, now_s + base)
-            elif job.step % job.spec.checkpoint_interval == 0:
+            elif self._should_checkpoint(job, now_s + base):
                 self._save_checkpoint(
-                    job, self.config.checkpoint_write_seconds
+                    job, self.config.checkpoint_write_seconds, now_s + base
                 )
 
     def _complete(self, job: _Job, finish_s: float) -> None:

@@ -20,6 +20,7 @@ from repro.experiments import (
     cluster,
     overlap,
     sensitivity,
+    service_load,
     figure5,
     figure6,
     figure7,
@@ -46,6 +47,7 @@ EXPERIMENTS = {
     "sensitivity": sensitivity.run,
     "availability": availability.run,
     "cluster": cluster.run,
+    "service_load": service_load.run,
 }
 
 

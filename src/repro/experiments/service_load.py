@@ -1,0 +1,136 @@
+"""Load-test the simulation service: ok-rate and latency vs concurrency.
+
+Reproduces the Pollux tuning methodology (SNIPPETS.md Snippet 1) against
+our own service: submit a fixed burst of N distinct jobs at increasing
+bounded concurrency and tabulate the ok-rate and the median latency.
+Below the knee every burst completes N/N while the median latency drops
+as concurrency rises (queueing delay shrinks); past the knee the service
+*sheds* — typed ``overloaded`` / ``rate_limited`` / ``deadline_exceeded``
+rejections, never silent loss.  The accounting invariant
+``submitted == ok + rejected + failed`` is asserted for every scenario.
+
+The result cache is disabled so every admitted job costs real work.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.experiments.report import Table
+from repro.service import (
+    ServiceConfig,
+    ServiceRejection,
+    SimJob,
+    SimulationService,
+)
+
+#: Jobs per burst.  Distinct specs (chips scan) so caching could never help.
+BURST = 32
+#: Bounded-concurrency scan below the knee.
+CONCURRENCY_SCAN = (1, 2, 4, 8)
+
+
+def _jobs(prefix: str) -> list[SimJob]:
+    # Distinct global batches on a fixed 256-chip slice (every batch is
+    # chip-divisible), so no two specs share a content key.
+    return [
+        SimJob(
+            "steptime",
+            {"model": "resnet50", "chips": 256,
+             "global_batch": 2048 + 256 * i, "tag": prefix},
+            name=f"{prefix}-{i}",
+        )
+        for i in range(BURST)
+    ]
+
+
+def _burst(config: ServiceConfig, jobs: list[SimJob]) -> dict:
+    """Submit every job at once, wait for all outcomes, tally by reason."""
+    counts = {"ok": 0, "overloaded": 0, "rate_limited": 0,
+              "deadline_exceeded": 0, "failed": 0}
+    latencies: list[float] = []
+    with SimulationService(config) as svc:
+        handles = []
+        for job in jobs:
+            try:
+                handles.append(svc.submit(job, client="load"))
+            except ServiceRejection as exc:
+                counts[exc.reason] += 1
+        for handle in handles:
+            reason, payload = handle.outcome(timeout=60.0)
+            counts[reason] = counts.get(reason, 0) + 1
+            if reason == "ok":
+                latencies.append(handle.latency_s)
+        snapshot = svc.snapshot()
+    accounted = sum(counts.values())
+    if accounted != len(jobs):
+        raise AssertionError(
+            f"silent loss: {len(jobs)} submitted, {accounted} accounted "
+            f"({counts}, snapshot {snapshot})"
+        )
+    counts["median_ms"] = (
+        statistics.median(latencies) * 1e3 if latencies else float("nan")
+    )
+    return counts
+
+
+def run() -> Table:
+    table = Table(
+        title=f"Service load test: {BURST}-job bursts, typed shedding past the knee",
+        headers=["scenario", "c", "queue", "ok", "overl", "rate", "ddl",
+                 "failed", "ok-rate", "median ms"],
+    )
+
+    # Below the knee: ample queue and rate budget; ok-rate must be N/N
+    # and median latency falls as the worker pool widens.
+    for c in CONCURRENCY_SCAN:
+        cfg = ServiceConfig(
+            concurrency=c, queue_depth=BURST, rate_capacity=BURST,
+            rate_refill_per_s=BURST, cache_entries=0,
+        )
+        r = _burst(cfg, _jobs(f"scan-c{c}"))
+        table.add_row(
+            "scan", c, BURST, r["ok"], r["overloaded"], r["rate_limited"],
+            r["deadline_exceeded"], r["failed"], f"{r['ok']}/{BURST}",
+            round(r["median_ms"], 3),
+        )
+
+    # Past the knee #1: queue depth 8 at c=4 — the burst overflows the
+    # bounded queue and the excess is shed with typed `overloaded`.
+    cfg = ServiceConfig(
+        concurrency=4, queue_depth=8, rate_capacity=BURST,
+        rate_refill_per_s=BURST, cache_entries=0,
+    )
+    r = _burst(cfg, _jobs("overload"))
+    table.add_row(
+        "overload", 4, 8, r["ok"], r["overloaded"], r["rate_limited"],
+        r["deadline_exceeded"], r["failed"], f"{r['ok']}/{BURST}",
+        round(r["median_ms"], 3),
+    )
+
+    # Past the knee #2: token bucket of 8 — the client outruns its rate
+    # budget and the excess is shed with typed `rate_limited`.
+    cfg = ServiceConfig(
+        concurrency=4, queue_depth=BURST, rate_capacity=8,
+        rate_refill_per_s=1.0, cache_entries=0,
+    )
+    r = _burst(cfg, _jobs("ratelimit"))
+    table.add_row(
+        "ratelimit", 4, BURST, r["ok"], r["overloaded"], r["rate_limited"],
+        r["deadline_exceeded"], r["failed"], f"{r['ok']}/{BURST}",
+        round(r["median_ms"], 3),
+    )
+
+    # Past the knee #3: a 2 ms deadline at c=1 — jobs age out in the
+    # queue and are shed with typed `deadline_exceeded`.
+    cfg = ServiceConfig(
+        concurrency=1, queue_depth=BURST, rate_capacity=BURST,
+        rate_refill_per_s=BURST, cache_entries=0, default_deadline_s=2e-3,
+    )
+    r = _burst(cfg, _jobs("deadline"))
+    table.add_row(
+        "deadline", 1, BURST, r["ok"], r["overloaded"], r["rate_limited"],
+        r["deadline_exceeded"], r["failed"], f"{r['ok']}/{BURST}",
+        round(r["median_ms"], 3),
+    )
+    return table

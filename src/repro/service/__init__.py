@@ -1,0 +1,67 @@
+"""Simulation-as-a-service: fault-tolerant async job layer.
+
+Public surface of the PR-9 service stack:
+
+* :class:`SimulationService` / :class:`ServiceConfig` — the job layer
+  itself: bounded worker pool, per-client token buckets, per-class
+  circuit breakers, content-addressed result cache, typed shedding.
+* :class:`SimJob` and the rejection taxonomy (:class:`Overloaded`,
+  :class:`RateLimited`, :class:`DeadlineExceeded`, :class:`JobFailed`).
+* :func:`run_sweep` / :class:`SweepJournal` — journaled, resumable
+  sweeps with zero recomputation after a kill.
+
+See ``DESIGN.md`` §14 for the architecture rationale.
+"""
+
+from repro.service.cache import ResultCache
+from repro.service.limits import CircuitBreaker, TokenBucket
+from repro.service.pool import CrashPlan, JobHandle, WorkerPool
+from repro.service.service import ServiceConfig, ServiceStats, SimulationService
+from repro.service.spec import (
+    JOB_KINDS,
+    DeadlineExceeded,
+    JobFailed,
+    Overloaded,
+    RateLimited,
+    ServiceError,
+    ServiceRejection,
+    SimJob,
+    WorkerCrashError,
+    canonical_spec,
+    content_key,
+)
+from repro.service.sweep import (
+    SweepInterrupted,
+    SweepJournal,
+    SweepResult,
+    run_sweep,
+    sweep_id,
+)
+
+__all__ = [
+    "JOB_KINDS",
+    "CircuitBreaker",
+    "CrashPlan",
+    "DeadlineExceeded",
+    "JobFailed",
+    "JobHandle",
+    "Overloaded",
+    "RateLimited",
+    "ResultCache",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceRejection",
+    "ServiceStats",
+    "SimJob",
+    "SimulationService",
+    "SweepInterrupted",
+    "SweepJournal",
+    "SweepResult",
+    "TokenBucket",
+    "WorkerCrashError",
+    "WorkerPool",
+    "canonical_spec",
+    "content_key",
+    "run_sweep",
+    "sweep_id",
+]

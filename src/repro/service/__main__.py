@@ -1,0 +1,145 @@
+"""Service chaos smoke: mixed burst, one poison, one crash, then resume.
+
+``python -m repro.service`` drives an in-process service through the
+full robustness story and exits non-zero if any claim fails, so CI can
+gate on it:
+
+* a mixed burst larger than the bounded queue — every overflow is shed
+  with a *typed* ``overloaded`` rejection, and the accounting invariant
+  ``submitted == ok + rejected + failed`` holds (no silent loss);
+* one worker-crash injection — the job retries on the shared policy and
+  completes;
+* one poisoned job — its retry budget exhausts, the client sees a typed
+  ``JobFailed``, and a flight-recorder postmortem bundle is dumped;
+* a journaled sweep killed halfway — the rerun resumes with zero
+  recomputation and returns payloads bit-identical to an uninterrupted
+  run on a fresh service.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import tempfile
+
+from repro import telemetry
+from repro.service import (
+    JobFailed,
+    ServiceConfig,
+    ServiceRejection,
+    SimJob,
+    SimulationService,
+    SweepInterrupted,
+    run_sweep,
+)
+
+
+def _mixed_burst() -> list[SimJob]:
+    # Poison and the crash target lead the burst so they are admitted
+    # before the bounded queue fills; the tail overflows and is shed.
+    jobs: list[SimJob] = [
+        SimJob("steptime", {"chips": 64}, name="poison"),
+        SimJob("chaos",
+               {"steps": 10, "expected_chip_failures": 1.0, "seed": 7},
+               name="burst-chaos"),
+    ]
+    jobs.extend(
+        SimJob("steptime", {"chips": 256, "global_batch": 1024 + 256 * i},
+               name=f"burst-{i}")
+        for i in range(12)
+    )
+    return jobs
+
+
+def run_smoke() -> int:
+    failures: list[str] = []
+    telemetry.reset()
+
+    # --- mixed burst: typed shedding, crash retry, poison postmortem ------
+    config = ServiceConfig(
+        concurrency=2, queue_depth=4, rate_capacity=64, rate_refill_per_s=64,
+        cache_entries=0, breaker_threshold=5,
+        poisoned=("poison",), crashes=(("burst-0", 1),),
+    )
+    counts = {"ok": 0, "overloaded": 0, "failed": 0}
+    crash_attempts = 0
+    with SimulationService(config) as svc:
+        handles = []
+        for job in _mixed_burst():
+            try:
+                handles.append(svc.submit(job, client="smoke"))
+            except ServiceRejection as exc:
+                counts[exc.reason] = counts.get(exc.reason, 0) + 1
+        for handle in handles:
+            reason, _ = handle.outcome(timeout=60.0)
+            counts[reason] = counts.get(reason, 0) + 1
+            if handle.job.name == "burst-0":
+                crash_attempts = handle.attempts
+        snapshot = svc.snapshot()
+
+    submitted = len(_mixed_burst())
+    accounted = sum(counts.values())
+    print(f"service smoke: burst of {submitted}: {counts}")
+    if accounted != submitted:
+        failures.append(
+            f"silent loss: {submitted} submitted, {accounted} accounted"
+        )
+    if counts.get("overloaded", 0) < 1:
+        failures.append("the overflow past queue depth must shed as typed "
+                        "`overloaded`")
+    if counts.get("failed", 0) != 1:
+        failures.append("exactly the poisoned job must fail terminally")
+    if snapshot["worker_crashes"] < 1:
+        failures.append("the injected worker crash must be recorded")
+    if crash_attempts < 2:
+        failures.append(
+            f"the crashed job must have retried (attempts={crash_attempts})"
+        )
+    postmortem = telemetry.flight_recorder.last_postmortem
+    if postmortem is None:
+        failures.append("the poisoned job must dump a postmortem bundle")
+    else:
+        print(f"  postmortem bundle: {postmortem.get('reason', '?')}")
+
+    # --- kill-and-resume sweep: zero recompute, bit-identical -------------
+    jobs = [
+        SimJob("steptime", {"chips": 256, "global_batch": 4096 + 512 * i})
+        for i in range(6)
+    ]
+    sweep_cfg = ServiceConfig(concurrency=2, queue_depth=16, cache_entries=0)
+    with tempfile.TemporaryDirectory() as tmp:
+        journal = os.path.join(tmp, "sweep.jsonl")
+        with SimulationService(sweep_cfg) as svc:
+            try:
+                run_sweep(svc, jobs, journal, interrupt_after=3)
+                failures.append("interrupt_after must raise SweepInterrupted")
+            except SweepInterrupted as exc:
+                print(f"  sweep killed: {exc}")
+        with SimulationService(sweep_cfg) as svc:
+            resumed = run_sweep(svc, jobs, journal)
+        with SimulationService(sweep_cfg) as svc:
+            uninterrupted = run_sweep(
+                svc, jobs, os.path.join(tmp, "fresh.jsonl")
+            )
+    print(
+        f"  resume: {resumed.executed} executed, {resumed.reused} reused"
+    )
+    if resumed.reused != 3 or resumed.executed != len(jobs) - 3:
+        failures.append(
+            f"resume must reuse exactly the journaled prefix "
+            f"(reused={resumed.reused}, executed={resumed.executed})"
+        )
+    if resumed.payloads != uninterrupted.payloads:
+        failures.append("resumed payloads must be bit-identical to an "
+                        "uninterrupted run")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("service smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(run_smoke())

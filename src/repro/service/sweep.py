@@ -1,0 +1,224 @@
+"""Resumable sweeps: a journaled map of jobs -> payloads, crash-safe.
+
+A sweep is a batch of :class:`~repro.service.spec.SimJob` queries (a
+scaling curve, a fault-rate grid) run through the service.  The
+:class:`SweepJournal` applies the ``TrainerCheckpoint`` idiom at sweep
+level: every completed job is appended to a JSON-lines journal *before*
+the sweep moves on, so a sweep killed halfway resumes with **zero
+recomputation** — completed entries are served from the journal, and
+only the remaining tail executes.
+
+Bit-identity is part of the contract: a resumed sweep returns payloads
+bit-identical to an uninterrupted run.  Both paths round-trip every
+payload through canonical JSON (Python's float repr round-trips
+exactly), so "came from the journal" and "came from a worker" are
+indistinguishable to the caller — the property test pins this for
+interrupts at every index.
+
+The journal is keyed by content key (the SHA-256 of the canonical spec,
+same as the result cache), and its header pins the sweep identity — a
+journal from a *different* job set refuses to resume rather than
+silently serving wrong answers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from repro import telemetry as _telemetry
+from repro.service.spec import ServiceError, ServiceRejection, SimJob
+
+logger = logging.getLogger("repro.service")
+
+#: How many times the sweep retries a typed rejection before giving up.
+#: A sweep is a batch client: when the front door says RateLimited or
+#: Overloaded it backs off and resubmits instead of failing the sweep.
+_SUBMIT_RETRIES = 2000
+_SUBMIT_BACKOFF_S = 5e-3
+
+
+class SweepInterrupted(ServiceError):
+    """The sweep was killed mid-run (injected via ``interrupt_after``).
+
+    The journal already holds everything completed so far; re-running
+    the same sweep against the same journal resumes past it.
+    """
+
+    def __init__(self, completed: int, total: int) -> None:
+        self.completed = completed
+        self.total = total
+        super().__init__(f"sweep interrupted after {completed}/{total} jobs")
+
+
+def sweep_id(jobs: Sequence[SimJob]) -> str:
+    """Identity of a job set: SHA-256 over the ordered content keys."""
+    digest = hashlib.sha256()
+    for job in jobs:
+        digest.update(job.content_key.encode())
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+class SweepJournal:
+    """Append-only JSON-lines journal of ``content_key -> payload``.
+
+    Line 1 is a header pinning the sweep id; each subsequent line is one
+    completed job.  Appends flush + fsync before returning, so a job is
+    either durably journaled or will re-run — never half-recorded (a
+    torn trailing line from a mid-write kill is detected and ignored).
+    """
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = Path(path)
+
+    def load(self, expected_sweep_id: str) -> dict[str, dict]:
+        """Completed entries, or ``{}`` for a fresh journal.
+
+        Raises :class:`ServiceError` if the journal belongs to a
+        different job set — resuming someone else's sweep would serve
+        wrong answers with confidence.
+        """
+        if not self.path.exists():
+            return {}
+        entries: dict[str, dict] = {}
+        with self.path.open("r", encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+        if not lines:
+            return {}
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError as exc:
+            raise ServiceError(
+                f"sweep journal {self.path} has a corrupt header"
+            ) from exc
+        if header.get("sweep_id") != expected_sweep_id:
+            raise ServiceError(
+                f"journal {self.path} belongs to sweep "
+                f"{header.get('sweep_id', '?')[:12]}..., not "
+                f"{expected_sweep_id[:12]}...; refusing to resume"
+            )
+        for line in lines[1:]:
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                # Torn tail from a kill mid-write: everything before it
+                # is durable, the torn job simply re-runs.
+                logger.warning(
+                    "sweep journal %s: ignoring torn trailing line", self.path
+                )
+                break
+            entries[record["key"]] = record["payload"]
+        return entries
+
+    def start(self, sid: str, total: int) -> None:
+        """Write the header for a fresh journal (no-op if it exists)."""
+        if self.path.exists() and self.path.stat().st_size > 0:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("w", encoding="utf-8") as fh:
+            fh.write(
+                json.dumps({"sweep_id": sid, "jobs": total}, sort_keys=True)
+                + "\n"
+            )
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def append(self, key: str, label: str, payload: dict) -> None:
+        with self.path.open("a", encoding="utf-8") as fh:
+            fh.write(
+                json.dumps(
+                    {"key": key, "label": label, "payload": payload},
+                    sort_keys=True,
+                )
+                + "\n"
+            )
+            fh.flush()
+            os.fsync(fh.fileno())
+
+
+@dataclass
+class SweepResult:
+    """Outcome of one (possibly resumed) sweep, payloads in job order."""
+
+    payloads: list[dict] = field(default_factory=list)
+    executed: int = 0
+    reused: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.executed + self.reused
+
+
+def run_sweep(
+    service,
+    jobs: Sequence[SimJob],
+    journal_path: str | os.PathLike,
+    *,
+    client: str = "sweep",
+    interrupt_after: int | None = None,
+) -> SweepResult:
+    """Run ``jobs`` through ``service``, journaling each completion.
+
+    Already-journaled jobs are reused without recomputation.  Typed
+    rejections (rate limit, overload) back off and resubmit — a sweep is
+    a polite batch client, not a burst.  ``interrupt_after=n`` raises
+    :class:`SweepInterrupted` after ``n`` fresh executions, simulating a
+    kill for the resume tests.
+    """
+    jobs = list(jobs)
+    sid = sweep_id(jobs)
+    journal = SweepJournal(journal_path)
+    done = journal.load(sid)
+    journal.start(sid, len(jobs))
+
+    result = SweepResult()
+    for job in jobs:
+        key = job.content_key
+        if key in done:
+            result.reused += 1
+            if _telemetry.enabled:
+                _telemetry.metrics.counter(
+                    "service_sweep_jobs", source="journal"
+                ).inc()
+            result.payloads.append(done[key])
+            continue
+        payload = _submit_with_backoff(service, job, client)
+        # Round-trip through canonical JSON so a fresh payload is
+        # bit-identical to the journaled form a resume would return.
+        payload = json.loads(json.dumps(payload, sort_keys=True))
+        journal.append(key, job.label, payload)
+        done[key] = payload
+        result.payloads.append(payload)
+        result.executed += 1
+        if _telemetry.enabled:
+            _telemetry.metrics.counter(
+                "service_sweep_jobs", source="executed"
+            ).inc()
+        if interrupt_after is not None and result.executed >= interrupt_after:
+            raise SweepInterrupted(result.executed, len(jobs))
+    logger.info(
+        "sweep %s...: %d executed, %d reused from journal",
+        sid[:12], result.executed, result.reused,
+    )
+    return result
+
+
+def _submit_with_backoff(service, job: SimJob, client: str) -> dict:
+    for _ in range(_SUBMIT_RETRIES):
+        try:
+            handle = service.submit(job, client=client)
+        except ServiceRejection:
+            service._sleep(_SUBMIT_BACKOFF_S)
+            continue
+        return handle.result()
+    raise ServiceError(
+        f"sweep could not admit {job.label!r} after {_SUBMIT_RETRIES} tries"
+    )

@@ -147,6 +147,19 @@ def step_breakdown(trace: Trace | None = None, registry=None) -> str:
         "controlplane_barrier_releases",
         "controlplane_barrier_timeouts",
         "controlplane_barrier_stragglers",
+        "service_submitted",
+        "service_completed",
+        "service_rejected",
+        "service_retries",
+        "service_worker_crashes",
+        "service_job_failures",
+        "service_degraded_runs",
+        "service_breaker_trips",
+        "service_breaker_recoveries",
+        "service_cache_hits",
+        "service_cache_misses",
+        "service_cache_evictions",
+        "service_sweep_jobs",
     ):
         family = snap.get(name)
         if not family:
@@ -312,6 +325,13 @@ def cmd_report(args: argparse.Namespace) -> int:
                 "note: no resilience_* or controlplane_* counters were recorded "
                 "— this run had no chaos harness or control-plane activity. "
                 "Run `repro-experiments availability` for failure accounting."
+            )
+        if not any(name.startswith("service_") for name in snap):
+            print()
+            print(
+                "note: no service_* counters were recorded — this run had no "
+                "simulation-service activity. Run `repro-service load` for "
+                "the shedding and latency accounting."
             )
     write_chrome_trace(args.trace_out, sim_trace=sim_trace)
     if not args.json:

@@ -535,3 +535,50 @@ class TestSchedulerValidation:
         result = run_cluster(specs, config)
         assert result.jobs["late"].state == PENDING
         assert result.fairness == 1.0
+
+
+class TestPerTenantCheckpointPolicy:
+    """Satellite of PR 9: `JobSpec.checkpoint_policy` opt-in."""
+
+    PLAN = FaultPlan(chip_failures=(ChipFailure((0, 0), at_step=21),))
+
+    def _run_one(self, policy, interval=50):
+        from repro.cluster.scheduler import run_cluster as _run
+
+        spec = JobSpec(
+            name="tenant", slice_shape=(2, 2), target_steps=40,
+            checkpoint_interval=interval, state_bytes=int(1e9),
+            checkpoint_policy=policy,
+        )
+        config = ClusterConfig(
+            mesh_shape=(2, 2), chips_per_host=2, max_ticks=200, seed=5,
+        )
+        return _run([spec], config, plan=self.PLAN).jobs["tenant"]
+
+    def test_risk_adaptive_tenant_checkpoints_more_and_loses_less(self):
+        from repro.controlplane.checkpointing import RiskAdaptive
+
+        # Same fault plan, same pod: the fixed-interval tenant rides 50
+        # steps between snapshots, the high-hazard tenant follows the
+        # Young/Daly interval (sqrt(2*1.0/0.5) = 2 s, i.e. ~every 2
+        # steps) — so the chip death at step 21 rewinds it far less.
+        legacy = self._run_one(None)
+        adaptive = self._run_one(
+            RiskAdaptive(hazard_per_second=0.5, checkpoint_seconds=1.0)
+        )
+        assert legacy.state == COMPLETED and adaptive.state == COMPLETED
+        assert adaptive.checkpoints_taken > legacy.checkpoints_taken
+        assert adaptive.lost_steps < legacy.lost_steps
+        assert legacy.lost_steps >= 20  # rewound to the initial snapshot
+
+    def test_none_policy_is_bit_identical_to_legacy_rule(self):
+        # The opt-in must not perturb the default path: a spec without a
+        # policy replays the exact event trace and accounting of the
+        # pre-policy scheduler (interval rule on step count).
+        from repro.controlplane.checkpointing import StepInterval
+
+        legacy = self._run_one(None, interval=4)
+        stepwise = self._run_one(StepInterval(4), interval=50)
+        assert stepwise.checkpoints_taken == legacy.checkpoints_taken
+        assert stepwise.lost_steps == legacy.lost_steps
+        assert stepwise.timeline == legacy.timeline

@@ -451,3 +451,33 @@ class TestReport:
         assert rc == 0
         captured = capsys.readouterr()
         assert "no resilience_* or controlplane_* counters" in captured.out
+
+    def test_cli_notes_missing_service_counters_and_exits_zero(
+        self, tmp_path, capsys
+    ):
+        """A run with no simulation-service activity gets the same
+        graceful note (exit 0) the control-plane counters get."""
+        from repro.telemetry import report
+
+        rc = report.main([
+            "--mesh", "2x2", "--steps", "1",
+            "--trace-out", str(tmp_path / "t.json"),
+        ])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "no service_* counters" in captured.out
+        assert "repro-service load" in captured.out
+
+    def test_breakdown_lists_service_counters_when_present(self):
+        """service_* counters recorded by a live service land in the
+        headline-counter block of the step breakdown."""
+        from repro.service import ServiceConfig, SimJob, SimulationService
+        from repro.telemetry import report
+
+        config = ServiceConfig(concurrency=1, queue_depth=4, cache_entries=4)
+        with SimulationService(config) as svc:
+            svc.submit(SimJob("steptime", {"chips": 64})).result()
+            svc.submit(SimJob("steptime", {"chips": 64})).result()  # hit
+        text = report.step_breakdown()
+        assert "service_submitted" in text
+        assert "service_cache_hits" in text
