@@ -23,9 +23,9 @@ import numpy as np
 from repro.core import TrainerConfig, make_trainer
 from repro.models.mlp import MLP, synthetic_classification
 from repro.optim import SGDMomentum
-from repro.spmd.estimator import estimate_cost, model_parallel_speedup
+from repro.spmd import ShardingSpec, make_partitioner
+from repro.spmd.estimator import model_parallel_speedup
 from repro.spmd.modelgraphs import transformer_block_graph, transformer_seeds
-from repro.spmd.partitioner import partition
 
 
 def functional_demo() -> None:
@@ -55,16 +55,18 @@ def functional_demo() -> None:
 def compiler_demo() -> None:
     print("=== compiler view: SPMD partitioning of a Transformer block ===")
     graph = transformer_block_graph(seq=27)
-    pg = partition(graph, transformer_seeds(graph, 4), 4)
+    partitioner = make_partitioner("v07")
+    plan = partitioner.partition(
+        graph, ShardingSpec.from_seeds(4, dict(transformer_seeds(graph, 4)))
+    )
     print("sharded tensors:")
     for name, node_id in graph.handles.items():
-        print(f"  {name:12s} -> {pg.shardings[node_id].describe()}")
+        print(f"  {name:12s} -> {plan.shardings[node_id].describe()}")
     print("inserted communication:")
-    for op in pg.comm_ops:
+    for op in plan.comm_ops:
         print(f"  {op.kind:11s} after {graph.node(op.node_id).name:12s} "
               f"{op.bytes_per_shard / 1e3:8.1f} KB/core")
-    cost = estimate_cost(pg)
-    print(f"comm fraction of the partitioned step: {cost.comm_fraction:.1%}\n")
+    print(f"comm fraction of the partitioned step: {plan.cost.comm_fraction:.1%}\n")
 
     builder = functools.partial(transformer_block_graph, seq=27)
     speedups = model_parallel_speedup(builder, transformer_seeds, [1, 2, 4])

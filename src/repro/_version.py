@@ -1,3 +1,3 @@
 """Version of the tpu-multipod-repro package."""
 
-__version__ = "0.9.0"
+__version__ = "0.11.0"

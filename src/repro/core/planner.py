@@ -49,16 +49,62 @@ PLANNER_RULES: dict[str, PlannerRules] = {
 }
 
 
+#: models whose IR graph the sharding search can explore (mp candidates).
+_SEARCHABLE_GRAPHS = ("ssd", "maskrcnn", "transformer")
+
+
 @dataclass(frozen=True)
 class PlanChoice:
-    """A planned layout plus the reasoning, for reports."""
+    """A planned layout plus the reasoning, for reports.
+
+    ``partition_plan`` is the search-found
+    :class:`repro.spmd.plan.PartitionPlan` when the planner ran with
+    ``search_sharding=True`` on a model-parallel layout (None otherwise).
+    """
 
     config: ParallelismConfig
     rationale: str
+    partition_plan: object | None = None
 
 
-def plan_parallelism(spec: ModelCostSpec, num_chips: int) -> PlanChoice:
-    """Choose batch size and model parallelism for a benchmark on a slice."""
+def _search_model_sharding(name: str, mp_cores: int, seed: int):
+    """Search the model's IR graph for an mp_cores-way sharding."""
+    # Imported lazily: repro.spmd pulls in the runtime mesh, which the
+    # analytic planner otherwise never needs.
+    from repro.spmd import SearchConfig, make_partitioner, search_partitioning
+    from repro.spmd.modelgraphs import (
+        maskrcnn_graph,
+        ssd_graph,
+        transformer_block_graph,
+    )
+
+    builders = {
+        "ssd": ssd_graph,
+        "maskrcnn": maskrcnn_graph,
+        "transformer": transformer_block_graph,
+    }
+    graph = builders[name]()
+    result = search_partitioning(
+        graph,
+        SearchConfig(num_shards=mp_cores, seed=seed, seed_nodes="handles"),
+        make_partitioner("v07"),
+    )
+    return result.best
+
+
+def plan_parallelism(
+    spec: ModelCostSpec,
+    num_chips: int,
+    *,
+    search_sharding: bool = False,
+    search_seed: int = 0,
+) -> PlanChoice:
+    """Choose batch size and model parallelism for a benchmark on a slice.
+
+    With ``search_sharding=True``, model-parallel layouts for models with
+    an IR graph are backed by the automatic partitioner search instead of
+    the hand annotations; the winning plan rides along on the choice.
+    """
     if num_chips < 1:
         raise ValueError("num_chips must be >= 1")
     try:
@@ -101,10 +147,22 @@ def plan_parallelism(spec: ModelCostSpec, num_chips: int) -> PlanChoice:
                 f"data parallelism at the largest converging batch "
                 f"{global_batch}"
             )
+    partition_plan = None
+    sharding_source = "annotated"
+    if search_sharding and mp_cores > 1 and spec.name in _SEARCHABLE_GRAPHS:
+        partition_plan = _search_model_sharding(spec.name, mp_cores, search_seed)
+        sharding_source = "searched"
+        rationale += (
+            f"; sharding searched: {len(partition_plan.spec.assignments)} "
+            f"annotations, est {partition_plan.total_seconds * 1e3:.3f} ms/tile-step"
+        )
     config = ParallelismConfig(
         num_chips=num_chips,
         global_batch=global_batch,
         mp_cores=mp_cores,
         spatial_partitioning=rules.spatial and mp_cores > 1,
+        sharding_source=sharding_source,
     )
-    return PlanChoice(config=config, rationale=rationale)
+    return PlanChoice(
+        config=config, rationale=rationale, partition_plan=partition_plan
+    )

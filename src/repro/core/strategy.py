@@ -26,6 +26,10 @@ class ParallelismConfig:
     spatial_partitioning:
         Whether model parallelism shards the spatial dims (SSD/MaskRCNN)
         rather than feature dims (Transformer).
+    sharding_source:
+        Where the model-parallel sharding comes from: ``"annotated"`` (the
+        paper's hand-written annotations) or ``"searched"`` (found by
+        :func:`repro.spmd.search.search_partitioning`).
     """
 
     num_chips: int
@@ -34,8 +38,14 @@ class ParallelismConfig:
     use_weight_update_sharding: bool = True
     use_2d_allreduce: bool = True
     spatial_partitioning: bool = False
+    sharding_source: str = "annotated"
 
     def __post_init__(self) -> None:
+        if self.sharding_source not in ("annotated", "searched"):
+            raise ValueError(
+                f"sharding_source must be 'annotated' or 'searched', "
+                f"got {self.sharding_source!r}"
+            )
         if self.num_chips < 1:
             raise ValueError("num_chips must be >= 1")
         if self.global_batch < 1:

@@ -19,6 +19,7 @@ paper-vs-measured for each.
 | ablations | WUS, 1-D vs 2-D all-reduce, MaskRCNN comm, shuffle,     |
 |           | input pipeline, DLRM input, AUC                         |
 | availability | goodput vs failure rate x pod size, chaos-run demo   |
+| spmd_search | searched vs hand-annotated sharding frontier          |
 """
 
 from repro.experiments.calibration import CALIBRATIONS, Calibration, end_to_end_model

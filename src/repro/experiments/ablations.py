@@ -36,9 +36,9 @@ from repro.input_pipeline.dlrm_input import DlrmInputConfig, dlrm_input_throughp
 from repro.input_pipeline.imbalance import multipod_input_imbalance
 from repro.input_pipeline.shuffle import simulate_shuffle_policy
 from repro.metrics.auc import auc_naive, auc_sorted, synthetic_pctr
-from repro.spmd.estimator import estimate_cost
 from repro.spmd.modelgraphs import maskrcnn_graph, spatial_seeds
-from repro.spmd.partitioner import V06_FEATURES, V07_FEATURES, partition
+from repro.spmd.partitioner import V06_FEATURES, V07_FEATURES
+from repro.spmd.plan import ShardingSpec, make_partitioner
 
 
 def wus_ablation() -> Table:
@@ -135,8 +135,13 @@ def maskrcnn_comm_ablation(mp_cores: int = 4, num_chips: int = 512) -> Table:
     grad_payload = spec.gradient_bytes / mp_cores
     for features, label in ((V06_FEATURES, "v0.6"), (V07_FEATURES, "v0.7")):
         graph = maskrcnn_graph()
-        pg = partition(graph, spatial_seeds(graph, mp_cores), mp_cores, features)
-        est = estimate_cost(pg, mesh, mxu_efficiency=cal.mxu_efficiency)
+        partitioner = make_partitioner(
+            features, mesh=mesh, mxu_efficiency=cal.mxu_efficiency
+        )
+        est = partitioner.partition(
+            graph,
+            ShardingSpec.from_seeds(mp_cores, dict(spatial_seeds(graph, mp_cores))),
+        ).cost
         reshard_steps = 1 if features.minimize_reshards else 2
         reshard = (
             reshard_steps * 2.0  # forward + backward

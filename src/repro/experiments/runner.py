@@ -21,6 +21,7 @@ from repro.experiments import (
     overlap,
     sensitivity,
     service_load,
+    spmd_search,
     figure5,
     figure6,
     figure7,
@@ -48,6 +49,7 @@ EXPERIMENTS = {
     "availability": availability.run,
     "cluster": cluster.run,
     "service_load": service_load.run,
+    "spmd_search": spmd_search.run,
 }
 
 

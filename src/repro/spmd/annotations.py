@@ -1,8 +1,46 @@
-"""Sharding annotations: how a tensor is laid out over the model tile."""
+"""Sharding annotations: how a tensor is laid out over the model tile.
+
+:class:`Sharding` is the single layout type; the supported constructors are
+its classmethods (``Sharding.replicate`` / ``Sharding.split`` /
+``Sharding.partial_sum``).  The legacy free functions (``replicated`` /
+``split`` / ``partial``) keep working but emit a ``DeprecationWarning``
+unless called through the :func:`repro.spmd.make_partitioner` facade —
+the same factory-silent pattern :func:`repro.core.make_trainer` uses for
+the concrete trainer constructors.
+"""
 
 from __future__ import annotations
 
+import warnings
+from contextlib import contextmanager
 from dataclasses import dataclass
+
+# Depth counter set while the repro.spmd facade (make_partitioner /
+# Partitioner / search) runs, so the deprecated module-level entry points
+# stay silent on the supported path (single-threaded, like make_trainer's
+# _IN_FACTORY flag).
+_FACADE_DEPTH = 0
+
+
+@contextmanager
+def _facade():
+    """Silence legacy-entry-point deprecation warnings within the facade."""
+    global _FACADE_DEPTH
+    _FACADE_DEPTH += 1
+    try:
+        yield
+    finally:
+        _FACADE_DEPTH -= 1
+
+
+def _warn_legacy(old: str, new: str) -> None:
+    if _FACADE_DEPTH:
+        return
+    warnings.warn(
+        f"calling {old} directly is deprecated; use {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 @dataclass(frozen=True)
@@ -23,6 +61,27 @@ class Sharding:
             raise ValueError("num_shards must be >= 1")
         if self.partial and self.dim is not None:
             raise ValueError("a partial value is not also dim-sharded")
+        if self.dim is not None and self.dim < 0:
+            raise ValueError("dim must be non-negative")
+
+    # --- supported constructors ----------------------------------------
+
+    @classmethod
+    def replicate(cls, num_shards: int) -> "Sharding":
+        """Fully replicated over ``num_shards`` cores."""
+        return cls(num_shards=num_shards)
+
+    @classmethod
+    def split(cls, num_shards: int, dim: int) -> "Sharding":
+        """Split along tensor dimension ``dim`` over ``num_shards`` cores."""
+        return cls(num_shards=num_shards, dim=dim)
+
+    @classmethod
+    def partial_sum(cls, num_shards: int) -> "Sharding":
+        """Every core holds a partial sum (pending all-reduce)."""
+        return cls(num_shards=num_shards, partial=True)
+
+    # --- inspection -----------------------------------------------------
 
     @property
     def replicated(self) -> bool:
@@ -42,15 +101,19 @@ class Sharding:
         return f"split(dim={self.dim}, {self.num_shards})"
 
 
+# --- legacy free functions (deprecated outside the facade) -----------------
+
+
 def replicated(num_shards: int) -> Sharding:
-    return Sharding(num_shards=num_shards)
+    _warn_legacy("repro.spmd.replicated()", "Sharding.replicate()")
+    return Sharding.replicate(num_shards)
 
 
 def split(num_shards: int, dim: int) -> Sharding:
-    if dim < 0:
-        raise ValueError("dim must be non-negative")
-    return Sharding(num_shards=num_shards, dim=dim)
+    _warn_legacy("repro.spmd.split()", "Sharding.split()")
+    return Sharding.split(num_shards, dim)
 
 
 def partial(num_shards: int) -> Sharding:
-    return Sharding(num_shards=num_shards, partial=True)
+    _warn_legacy("repro.spmd.partial()", "Sharding.partial_sum()")
+    return Sharding.partial_sum(num_shards)

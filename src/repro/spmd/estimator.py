@@ -12,13 +12,14 @@ import math
 from dataclasses import dataclass
 
 from repro.hardware.topology import TorusMesh, single_pod
-from repro.spmd.annotations import Sharding
+from repro.spmd.annotations import Sharding, _warn_legacy
 from repro.spmd.ir import Node
 from repro.spmd.partitioner import (
     PartitionedGraph,
     PartitionerFeatures,
     V07_FEATURES,
-    partition,
+    _check_dtype_consistent,
+    _partition_impl,
 )
 
 #: forward+backward multiplier applied to forward FLOPs.
@@ -92,14 +93,47 @@ def estimate_cost(
     mxu_efficiency: float = 0.35,
     fwd_bwd_factor: float = FWD_BWD_FACTOR,
     per_op_overhead: float = 2.0e-6,
-    dtype_bytes: int = 2,
+    dtype_bytes: int | None = None,
+) -> PartitionCost:
+    """Seconds per step for one partitioned model tile.
+
+    Deprecated as a direct entry point — the :func:`repro.spmd.make_partitioner`
+    facade attaches this cost to every :class:`repro.spmd.plan.PartitionPlan`.
+    """
+    _warn_legacy(
+        "repro.spmd.estimate_cost()",
+        "make_partitioner(...).partition(...).cost",
+    )
+    return _estimate_cost_impl(
+        pg,
+        mesh,
+        core_flops_rate=core_flops_rate,
+        mxu_efficiency=mxu_efficiency,
+        fwd_bwd_factor=fwd_bwd_factor,
+        per_op_overhead=per_op_overhead,
+        dtype_bytes=dtype_bytes,
+    )
+
+
+def _estimate_cost_impl(
+    pg: PartitionedGraph,
+    mesh: TorusMesh | None = None,
+    *,
+    core_flops_rate: float | None = None,
+    mxu_efficiency: float = 0.35,
+    fwd_bwd_factor: float = FWD_BWD_FACTOR,
+    per_op_overhead: float = 2.0e-6,
+    dtype_bytes: int | None = None,
 ) -> PartitionCost:
     """Seconds per step for one partitioned model tile.
 
     ``per_op_overhead`` is a fixed per-node cost (dispatch, fusion
     boundaries) that does not shrink with partitioning; elementwise ops are
-    charged as memory-bound (HBM) rather than MXU work.
+    charged as memory-bound (HBM) rather than MXU work.  HBM traffic is
+    priced at each node's own ``dtype_bytes``; an explicit width must be
+    consistent with the graph (see :func:`_check_dtype_consistent`).
     """
+    _check_dtype_consistent(pg.graph, dtype_bytes)
     mesh = mesh if mesh is not None else single_pod()
     if core_flops_rate is None:
         core_flops_rate = mesh.chip.per_core_matmul_flops * mxu_efficiency
@@ -118,7 +152,7 @@ def estimate_cost(
         factor = _tile_factor(node, pg.compute_shardings[node.id])
         if node.op in ("elementwise", "add"):
             # Memory bound: read inputs + write output through HBM.
-            traffic = 3.0 * node.output_bytes(dtype_bytes) * fwd_bwd_factor
+            traffic = 3.0 * node.output_bytes() * fwd_bwd_factor
             compute += traffic * factor / hbm_per_core
         else:
             compute += flops * factor / core_flops_rate
@@ -163,7 +197,7 @@ def model_parallel_speedup(
     features: PartitionerFeatures = V07_FEATURES,
     mesh: TorusMesh | None = None,
     mxu_efficiency: float = 0.35,
-    dtype_bytes: int = 2,
+    dtype_bytes: int | None = None,
 ) -> dict[int, float]:
     """Speedup over 1 core for each model-parallel tile size.
 
@@ -174,15 +208,15 @@ def model_parallel_speedup(
     if any(k < 1 for k in num_cores_list):
         raise ValueError("core counts must be >= 1")
     graph1 = build_graph()
-    base = estimate_cost(
-        partition(graph1, {}, 1, features, dtype_bytes),
+    base = _estimate_cost_impl(
+        _partition_impl(graph1, {}, 1, features, dtype_bytes),
         mesh,
         mxu_efficiency=mxu_efficiency,
     ).total_seconds
     out: dict[int, float] = {}
     for k in num_cores_list:
         graph = build_graph()
-        pg = partition(graph, seed_fn(graph, k), k, features, dtype_bytes)
-        cost = estimate_cost(pg, mesh, mxu_efficiency=mxu_efficiency)
+        pg = _partition_impl(graph, seed_fn(graph, k), k, features, dtype_bytes)
+        cost = _estimate_cost_impl(pg, mesh, mxu_efficiency=mxu_efficiency)
         out[k] = base / cost.total_seconds
     return out

@@ -10,6 +10,12 @@ Shapes follow the conventions:
 Each node knows its FLOPs (training = forward; the estimator applies the
 forward/backward multiplier) and its output byte size; that is all the
 partitioner and cost estimator need.
+
+Every node carries an explicit ``dtype_bytes`` (defaulting to the graph's
+``dtype_bytes``, bf16 = 2 unless overridden), so the partitioner's inserted
+communication and the estimator's memory-bound accounting price the same
+element width — a graph mixing f32 accumulators simply marks those nodes
+with ``dtype_bytes=4`` instead of inheriting a silent bf16 assumption.
 """
 
 from __future__ import annotations
@@ -32,20 +38,25 @@ class Node:
     shape: tuple[int, ...]
     attrs: dict = field(default_factory=dict, hash=False, compare=False)
     name: str = ""
+    dtype_bytes: int = 2
 
     @property
     def elements(self) -> int:
         return int(math.prod(self.shape)) if self.shape else 1
 
-    def output_bytes(self, dtype_bytes: int = 2) -> float:
-        return self.elements * dtype_bytes
+    def output_bytes(self, dtype_bytes: int | None = None) -> float:
+        """Output size in bytes; ``None`` uses the node's own dtype."""
+        return self.elements * (self.dtype_bytes if dtype_bytes is None else dtype_bytes)
 
 
 class Graph:
     """A tensor program under construction (SSA, topologically ordered)."""
 
-    def __init__(self, name: str = "graph") -> None:
+    def __init__(self, name: str = "graph", dtype_bytes: int = 2) -> None:
+        if dtype_bytes < 1:
+            raise ValueError("dtype_bytes must be >= 1")
         self.name = name
+        self.dtype_bytes = dtype_bytes
         self.nodes: list[Node] = []
 
     def node(self, node_id: int) -> Node:
@@ -54,24 +65,28 @@ class Graph:
         return self.nodes[node_id]
 
     def _add(self, op: str, inputs: tuple[int, ...], shape: tuple[int, ...],
-             attrs: dict | None = None, name: str = "") -> int:
+             attrs: dict | None = None, name: str = "",
+             dtype_bytes: int | None = None) -> int:
         for i in inputs:
             if not 0 <= i < len(self.nodes):
                 raise ShapeError(f"unknown input id {i}")
         node = Node(
             id=len(self.nodes), op=op, inputs=inputs, shape=tuple(shape),
             attrs=attrs or {}, name=name or f"{op}_{len(self.nodes)}",
+            dtype_bytes=self.dtype_bytes if dtype_bytes is None else dtype_bytes,
         )
         self.nodes.append(node)
         return node.id
 
     # --- builders -------------------------------------------------------
 
-    def input(self, shape: tuple[int, ...], name: str = "input") -> int:
-        return self._add("input", (), shape, name=name)
+    def input(self, shape: tuple[int, ...], name: str = "input",
+              dtype_bytes: int | None = None) -> int:
+        return self._add("input", (), shape, name=name, dtype_bytes=dtype_bytes)
 
-    def parameter(self, shape: tuple[int, ...], name: str = "param") -> int:
-        return self._add("parameter", (), shape, name=name)
+    def parameter(self, shape: tuple[int, ...], name: str = "param",
+                  dtype_bytes: int | None = None) -> int:
+        return self._add("parameter", (), shape, name=name, dtype_bytes=dtype_bytes)
 
     def conv2d(self, x: int, w: int, stride: int = 1, name: str = "") -> int:
         xs, ws = self.node(x).shape, self.node(w).shape
@@ -119,9 +134,9 @@ class Graph:
             raise ShapeError(f"topk k={k} invalid for shape {xs}")
         return self._add("topk", (x,), xs[:-1] + (k,), attrs={"k": k}, name=name)
 
-    def reduce(self, x: int, name: str = "") -> int:
-        """Full reduction to a scalar (losses, norms)."""
-        return self._add("reduce", (x,), (), name=name)
+    def reduce(self, x: int, name: str = "", dtype_bytes: int | None = None) -> int:
+        """Full reduction to a scalar (losses, norms — often f32 accumulated)."""
+        return self._add("reduce", (x,), (), name=name, dtype_bytes=dtype_bytes)
 
     def softmax(self, x: int, name: str = "") -> int:
         return self._add("elementwise", (x,), self.node(x).shape,

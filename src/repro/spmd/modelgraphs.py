@@ -9,7 +9,7 @@ that seed functions annotate.
 
 from __future__ import annotations
 
-from repro.spmd.annotations import Sharding, split
+from repro.spmd.annotations import Sharding
 from repro.spmd.ir import Graph
 
 
@@ -95,6 +95,31 @@ def maskrcnn_graph(batch: int = 1) -> Graph:
     return g
 
 
+def resnet_block_graph(batch: int = 1, size: int = 16, cin: int = 4,
+                       cout: int = 8) -> Graph:
+    """A small ResNet residual block, sized to *execute* on a VirtualMesh.
+
+    Unlike :func:`ssd_graph`/:func:`maskrcnn_graph` (full-scale shape
+    models), every op here is stride-1 with odd kernels so the spatial
+    execution path can run it for real at small scale — the bit-exact
+    validation target for the partitioner search.
+    """
+    g = Graph("resnet_block")
+    image = g.input((batch, size, size, cin), name="image")
+    proj_w = g.parameter((1, 1, cin, cout), name="proj_w")
+    shortcut = g.conv2d(image, proj_w, name="proj")
+    w1 = g.parameter((3, 3, cin, cout), name="conv1_w")
+    x = g.conv2d(image, w1, name="conv1")
+    x = g.elementwise(x, "relu", name="relu1")
+    w2 = g.parameter((3, 3, cout, cout), name="conv2_w")
+    x = g.conv2d(x, w2, name="conv2")
+    x = g.add(x, shortcut, name="residual")
+    x = g.elementwise(x, "relu", name="relu2")
+    g.reduce(x, name="loss")
+    g.handles = {"image": image}
+    return g
+
+
 def transformer_block_graph(
     seq: int = 256, hidden: int = 1024, ffn: int = 4096, vocab: int = 33_000
 ) -> Graph:
@@ -140,7 +165,7 @@ def spatial_seeds(graph: Graph, k: int) -> dict[int, Sharding]:
     """Annotate the input image split along H (SSD/MaskRCNN, Section 3.1)."""
     if k == 1:
         return {}
-    return {graph.handles["image"]: split(k, 1)}
+    return {graph.handles["image"]: Sharding.split(k, 1)}
 
 
 def transformer_seeds(graph: Graph, k: int) -> dict[int, Sharding]:
@@ -149,9 +174,9 @@ def transformer_seeds(graph: Graph, k: int) -> dict[int, Sharding]:
         return {}
     h = graph.handles
     return {
-        h["embedding"]: split(k, 0),   # vocab (contracting) -> partial
-        h["qkv_w"]: split(k, 1),       # heads dimension
-        h["attn_out_w"]: split(k, 0),  # contracting -> partial + allreduce
-        h["ffn_w1"]: split(k, 1),      # ffn hidden
-        h["ffn_w2"]: split(k, 0),      # contracting -> partial + allreduce
+        h["embedding"]: Sharding.split(k, 0),   # vocab (contracting) -> partial
+        h["qkv_w"]: Sharding.split(k, 1),       # heads dimension
+        h["attn_out_w"]: Sharding.split(k, 0),  # contracting -> partial + allreduce
+        h["ffn_w1"]: Sharding.split(k, 1),      # ffn hidden
+        h["ffn_w2"]: Sharding.split(k, 0),      # contracting -> partial + allreduce
     }

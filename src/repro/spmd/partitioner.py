@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.spmd.annotations import Sharding, partial, replicated, split
+from repro.spmd.annotations import Sharding, _warn_legacy
 from repro.spmd.ir import Graph, Node
 
 
@@ -91,8 +91,22 @@ class PartitionedGraph:
         return out
 
 
-def _tensor_bytes(node: Node, dtype_bytes: int) -> float:
-    return node.output_bytes(dtype_bytes)
+def _check_dtype_consistent(graph: Graph, dtype_bytes: int | None) -> None:
+    """An explicit byte width must agree with every node's own dtype.
+
+    ``None`` means "use per-node dtypes" and is always consistent; passing
+    a width that silently contradicts the graph (the old hardcoded-2 bug,
+    with f32 accumulators priced as bf16) is an error.
+    """
+    if dtype_bytes is None:
+        return
+    for node in graph.nodes:
+        if node.dtype_bytes != dtype_bytes:
+            raise ValueError(
+                f"dtype_bytes={dtype_bytes} is inconsistent with node "
+                f"{node.name!r} (dtype_bytes={node.dtype_bytes}); omit the "
+                f"argument to use per-node dtypes"
+            )
 
 
 def partition(
@@ -100,15 +114,38 @@ def partition(
     seeds: dict[int, Sharding],
     num_shards: int,
     features: PartitionerFeatures = V07_FEATURES,
-    dtype_bytes: int = 2,
+    dtype_bytes: int | None = None,
 ) -> PartitionedGraph:
     """Propagate shardings through ``graph`` and insert communication.
 
+    Deprecated as a direct entry point — build a partitioner with
+    :func:`repro.spmd.make_partitioner` and call its ``partition`` method,
+    which also returns the costed :class:`repro.spmd.plan.PartitionPlan`.
+    """
+    _warn_legacy(
+        "repro.spmd.partition()",
+        "make_partitioner(...).partition(graph, ShardingSpec(...))",
+    )
+    return _partition_impl(graph, seeds, num_shards, features, dtype_bytes)
+
+
+def _partition_impl(
+    graph: Graph,
+    seeds: dict[int, Sharding],
+    num_shards: int,
+    features: PartitionerFeatures = V07_FEATURES,
+    dtype_bytes: int | None = None,
+) -> PartitionedGraph:
+    """Propagation + communication insertion (the facade-internal path).
+
     ``seeds`` maps node ids (typically inputs/parameters) to layouts; all
-    other inputs default to replicated.
+    other inputs default to replicated.  Communication payloads are priced
+    at each tensor's own ``dtype_bytes``; passing an explicit width that
+    contradicts a node raises (dtype-consistency guard).
     """
     if num_shards < 1:
         raise ValueError("num_shards must be >= 1")
+    _check_dtype_consistent(graph, dtype_bytes)
     for node_id, sharding in seeds.items():
         if sharding.num_shards != num_shards:
             raise ValueError(
@@ -118,7 +155,7 @@ def partition(
     pg = PartitionedGraph(graph=graph, num_shards=num_shards, features=features)
     if num_shards == 1:
         for node in graph.topological():
-            pg._set(node.id, replicated(1))
+            pg._set(node.id, Sharding.replicate(1))
         return pg
 
     def resolve_partial(node_id: int) -> Sharding:
@@ -127,10 +164,8 @@ def partition(
         if not s.partial:
             return s
         node = graph.node(node_id)
-        pg.comm_ops.append(
-            CommOp("all_reduce", node_id, _tensor_bytes(node, dtype_bytes))
-        )
-        s = replicated(num_shards)
+        pg.comm_ops.append(CommOp("all_reduce", node_id, node.output_bytes()))
+        s = Sharding.replicate(num_shards)
         pg.shardings[node_id] = s  # layout change only; compute ran as partial
         return s
 
@@ -142,15 +177,13 @@ def partition(
             return
         if s.dim is not None:
             node = graph.node(node_id)
-            pg.comm_ops.append(
-                CommOp("all_gather", node_id, _tensor_bytes(node, dtype_bytes))
-            )
+            pg.comm_ops.append(CommOp("all_gather", node_id, node.output_bytes()))
 
     reshard_steps = 1 if features.minimize_reshards else 2
 
     for node in graph.topological():
         if node.op in ("input", "parameter"):
-            pg._set(node.id, seeds.get(node.id, replicated(num_shards)))
+            pg._set(node.id, seeds.get(node.id, Sharding.replicate(num_shards)))
             continue
 
         if node.op == "conv2d":
@@ -172,17 +205,17 @@ def partition(
                         CommOp(
                             "halo",
                             node.id,
-                            2.0 * halo * row * b * dtype_bytes,
+                            2.0 * halo * row * b * x_node.dtype_bytes,
                             steps=steps,
                         )
                     )
-                pg._set(node.id, split(num_shards, xs.dim))
+                pg._set(node.id, Sharding.split(num_shards, xs.dim))
             elif xs.dim == 0:  # batch split: embarrassingly parallel
-                pg._set(node.id, split(num_shards, 0))
+                pg._set(node.id, Sharding.split(num_shards, 0))
             elif xs.dim == 3:  # input channels = contracting dim
-                pg._set(node.id, partial(num_shards))
+                pg._set(node.id, Sharding.partial_sum(num_shards))
             else:
-                pg._set(node.id, replicated(num_shards))
+                pg._set(node.id, Sharding.replicate(num_shards))
             continue
 
         if node.op == "matmul":
@@ -192,13 +225,13 @@ def partition(
             if sa.dim == 1 or sb.dim == 0:
                 # Contracting dimension sharded on either side: local slices
                 # multiply, result is a partial sum.
-                pg._set(node.id, partial(num_shards))
+                pg._set(node.id, Sharding.partial_sum(num_shards))
             elif sa.dim == 0:
-                pg._set(node.id, split(num_shards, 0))
+                pg._set(node.id, Sharding.split(num_shards, 0))
             elif sb.dim == 1:
-                pg._set(node.id, split(num_shards, 1))
+                pg._set(node.id, Sharding.split(num_shards, 1))
             else:
-                pg._set(node.id, replicated(num_shards))
+                pg._set(node.id, Sharding.replicate(num_shards))
             continue
 
         if node.op in ("elementwise", "add"):
@@ -212,7 +245,7 @@ def partition(
                         CommOp(
                             "reshard",
                             other_id,
-                            _tensor_bytes(other_node, dtype_bytes) / num_shards,
+                            other_node.output_bytes() / num_shards,
                             steps=reshard_steps,
                         )
                     )
@@ -227,11 +260,11 @@ def partition(
             if features.partition_gather or features.gather_as_onehot_matmul:
                 # Partitioned (as one-hot matmuls on the MXU when enabled):
                 # output rows split over cores.
-                pg._set(node.id, split(num_shards, 0))
+                pg._set(node.id, Sharding.split(num_shards, 0))
             else:
                 gathered(x_id)
                 pg.serial_nodes.add(node.id)
-                pg._set(node.id, replicated(num_shards))
+                pg._set(node.id, Sharding.replicate(num_shards))
             continue
 
         if node.op == "topk":
@@ -241,13 +274,13 @@ def partition(
                 # Local top-k then a tiny candidate exchange.
                 k = node.attrs["k"]
                 pg.comm_ops.append(
-                    CommOp("all_gather", node.id, float(k) * dtype_bytes)
+                    CommOp("all_gather", node.id, float(k) * node.dtype_bytes)
                 )
-                pg._set(node.id, replicated(num_shards))
+                pg._set(node.id, Sharding.replicate(num_shards))
             else:
                 gathered(x_id)
                 pg.serial_nodes.add(node.id)
-                pg._set(node.id, replicated(num_shards))
+                pg._set(node.id, Sharding.replicate(num_shards))
             continue
 
         if node.op == "reduce":
@@ -255,8 +288,8 @@ def partition(
             xs = pg.shardings[x_id]
             if xs.partial or xs.dim is not None:
                 # Partial local reductions + a scalar all-reduce.
-                pg.comm_ops.append(CommOp("all_reduce", node.id, float(dtype_bytes)))
-            pg._set(node.id, replicated(num_shards))
+                pg.comm_ops.append(CommOp("all_reduce", node.id, float(node.dtype_bytes)))
+            pg._set(node.id, Sharding.replicate(num_shards))
             continue
 
         raise NotImplementedError(f"no partitioning rule for op {node.op!r}")

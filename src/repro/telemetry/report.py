@@ -160,6 +160,11 @@ def step_breakdown(trace: Trace | None = None, registry=None) -> str:
         "service_cache_misses",
         "service_cache_evictions",
         "service_sweep_jobs",
+        "spmd_search_runs",
+        "spmd_search_candidates_expanded",
+        "spmd_search_candidates_pruned",
+        "spmd_search_plans_validated",
+        "spmd_search_plans_returned",
     ):
         family = snap.get(name)
         if not family:
@@ -332,6 +337,14 @@ def cmd_report(args: argparse.Namespace) -> int:
                 "note: no service_* counters were recorded — this run had no "
                 "simulation-service activity. Run `repro-service load` for "
                 "the shedding and latency accounting."
+            )
+        if not any(name.startswith("spmd_search_") for name in snap):
+            print()
+            print(
+                "note: no spmd_search_* counters were recorded — this run "
+                "had no partitioner-search activity. Run `python -m "
+                "repro.spmd` or `repro-experiments spmd_search` for the "
+                "candidate expansion/prune accounting."
             )
     write_chrome_trace(args.trace_out, sim_trace=sim_trace)
     if not args.json:

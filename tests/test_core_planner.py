@@ -83,3 +83,38 @@ class TestMechanics:
         plan = plan_parallelism(maskrcnn_spec(), 4096)
         assert plan.config.mp_cores <= 8
         assert "oversized" in plan.rationale or "model parallelism" in plan.rationale
+
+
+class TestSearchedSharding:
+    def test_default_is_annotated(self):
+        plan = plan_parallelism(ssd_spec(), 4096)
+        assert plan.config.sharding_source == "annotated"
+        assert plan.partition_plan is None
+
+    def test_search_backs_mp_layouts(self):
+        plan = plan_parallelism(ssd_spec(), 4096, search_sharding=True)
+        assert plan.config.mp_cores == 2
+        assert plan.config.sharding_source == "searched"
+        assert plan.partition_plan is not None
+        assert plan.partition_plan.num_shards == 2
+        assert "sharding searched" in plan.rationale
+
+    def test_search_skipped_for_pure_dp(self):
+        plan = plan_parallelism(resnet50_spec(), 4096, search_sharding=True)
+        assert plan.config.sharding_source == "annotated"
+        assert plan.partition_plan is None
+
+    def test_searched_plans_are_seed_stable(self):
+        a = plan_parallelism(transformer_big_spec(), 2048, search_sharding=True)
+        b = plan_parallelism(transformer_big_spec(), 2048, search_sharding=True)
+        assert a.partition_plan is not None
+        assert a.partition_plan.spec == b.partition_plan.spec
+        assert a.partition_plan.total_seconds == b.partition_plan.total_seconds
+
+    def test_invalid_sharding_source_rejected(self):
+        from repro.core.strategy import ParallelismConfig
+
+        with pytest.raises(ValueError, match="sharding_source"):
+            ParallelismConfig(
+                num_chips=4, global_batch=8, sharding_source="guessed"
+            )

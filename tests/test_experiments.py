@@ -241,7 +241,24 @@ class TestRunnerAndReport:
         assert set(EXPERIMENTS) >= {
             "table1", "table2", "figure5", "figure6", "figure7", "figure8",
             "figure9", "figure10", "figure11", "ablations", "availability",
+            "spmd_search",
         }
+
+    def test_spmd_search_experiment(self):
+        from repro.experiments import spmd_search
+
+        table = spmd_search.run()
+        rows = {
+            (r[0], r[1], r[2]): r for r in table.rows
+        }  # (model, features, cores)
+        assert ("ssd", "v07", 4) in rows
+        for key, row in rows.items():
+            searched_ms, speedup = row[5], row[6]
+            assert searched_ms > 0
+            # search matches or beats the hand annotation everywhere.
+            assert speedup >= 0.999, key
+        # the executable graph reports a bit-exactness verdict.
+        assert rows[("resnet_block", "v07", 4)][7] == "yes"
 
     def test_cli_single_experiment(self, capsys):
         assert main(["table2"]) == 0

@@ -4,12 +4,12 @@ import functools
 
 import pytest
 
+from repro.spmd.annotations import Sharding
 from repro.spmd.estimator import (
     _tile_factor,
     estimate_cost,
     model_parallel_speedup,
 )
-from repro.spmd.annotations import partial, replicated, split
 from repro.spmd.ir import Graph
 from repro.spmd.modelgraphs import (
     maskrcnn_graph,
@@ -19,6 +19,13 @@ from repro.spmd.modelgraphs import (
     transformer_seeds,
 )
 from repro.spmd.partitioner import V06_FEATURES, V07_FEATURES, partition
+from repro.spmd.plan import ShardingSpec, make_partitioner
+
+
+def _plan(graph, seeds, k, features=V07_FEATURES):
+    return make_partitioner(features).partition(
+        graph, ShardingSpec.from_seeds(k, dict(seeds))
+    )
 
 
 def _node(shape, op="conv2d"):
@@ -34,45 +41,42 @@ def _node(shape, op="conv2d"):
 class TestTileFactor:
     def test_replicated_full(self):
         node = _node((1, 64, 64, 8))
-        assert _tile_factor(node, replicated(4)) == 1.0
+        assert _tile_factor(node, Sharding.replicate(4)) == 1.0
 
     def test_partial_even(self):
         node = _node((1, 64, 64, 8))
-        assert _tile_factor(node, partial(4)) == 0.25
+        assert _tile_factor(node, Sharding.partial_sum(4)) == 0.25
 
     def test_even_spatial_split(self):
         node = _node((1, 64, 64, 8))
-        assert _tile_factor(node, split(4, 1)) == pytest.approx(16 / 64)
+        assert _tile_factor(node, Sharding.split(4, 1)) == pytest.approx(16 / 64)
 
     def test_granule_floor(self):
         """Splitting 38 rows over 8 cores pads the 5-row tile to 8."""
         node = _node((1, 38, 38, 8))
-        assert _tile_factor(node, split(8, 1)) == pytest.approx(8 / 38)
+        assert _tile_factor(node, Sharding.split(8, 1)) == pytest.approx(8 / 38)
 
     def test_split_cannot_exceed_full(self):
         node = _node((1, 4, 64, 8))
-        assert _tile_factor(node, split(8, 1)) <= 1.0
+        assert _tile_factor(node, Sharding.split(8, 1)) <= 1.0
 
 
 class TestEstimateCost:
     def test_unpartitioned_baseline(self):
-        g = ssd_graph()
-        pg = partition(g, {}, 1)
-        cost = estimate_cost(pg)
+        cost = _plan(ssd_graph(), {}, 1).cost
         assert cost.compute_seconds > 0
         assert cost.comm_seconds == 0.0
 
     def test_partitioned_cheaper_compute(self):
         g1, g2 = ssd_graph(), ssd_graph()
-        base = estimate_cost(partition(g1, {}, 1))
-        part = estimate_cost(partition(g2, spatial_seeds(g2, 4), 4))
+        base = _plan(g1, {}, 1).cost
+        part = _plan(g2, spatial_seeds(g2, 4), 4).cost
         assert part.compute_seconds < base.compute_seconds
         assert part.comm_seconds > 0
 
     def test_total_and_fraction(self):
         g = ssd_graph()
-        pg = partition(g, spatial_seeds(g, 4), 4)
-        cost = estimate_cost(pg)
+        cost = _plan(g, spatial_seeds(g, 4), 4).cost
         assert cost.total_seconds == pytest.approx(
             cost.compute_seconds + cost.serial_seconds + cost.comm_seconds
         )
@@ -82,9 +86,25 @@ class TestEstimateCost:
         g = Graph()
         scores = g.input((1, 4096), name="scores")
         g.topk(scores, 128)
-        pg = partition(g, {scores: split(4, 1)}, 4, V06_FEATURES)
-        cost = estimate_cost(pg)
+        cost = _plan(
+            g, {scores: Sharding.split(4, 1)}, 4, V06_FEATURES
+        ).cost
         assert cost.serial_seconds > 0
+
+    def test_legacy_estimate_cost_warns_and_agrees(self):
+        g = ssd_graph()
+        plan = _plan(g, spatial_seeds(g, 4), 4)
+        with pytest.warns(DeprecationWarning, match="estimate_cost"):
+            legacy = estimate_cost(plan.partitioned)
+        assert legacy == plan.cost
+
+    def test_legacy_partition_feeds_legacy_estimate(self):
+        g = ssd_graph()
+        with pytest.warns(DeprecationWarning):
+            pg = partition(g, spatial_seeds(g, 4), 4)
+        with pytest.warns(DeprecationWarning):
+            cost = estimate_cost(pg)
+        assert cost == _plan(ssd_graph(), spatial_seeds(g, 4), 4).cost
 
 
 class TestSpeedupCurves:
@@ -115,6 +135,12 @@ class TestSpeedupCurves:
             v07 = model_parallel_speedup(builder, seeds, [8], features=V07_FEATURES)
             v06 = model_parallel_speedup(builder, seeds, [8], features=V06_FEATURES)
             assert v07[8] >= v06[8]
+
+    def test_speedup_curves_are_warning_free(self, recwarn):
+        model_parallel_speedup(ssd_graph, spatial_seeds, [2])
+        assert not [
+            w for w in recwarn.list if issubclass(w.category, DeprecationWarning)
+        ]
 
     def test_invalid_core_count(self):
         with pytest.raises(ValueError):
